@@ -1,0 +1,92 @@
+// Ablation of the Kiefer-Wolfowitz engineering choices DESIGN.md calls out.
+// The paper's Algorithm 1 as printed (linear probes, no dead-zone escape,
+// no trust region, ACK-only parameter distribution) is compared against the
+// shipped configuration, one knob at a time, on the hardest connected case
+// (many stations, pval starting at 0.5 deep in the collision-dead zone).
+//
+// Columns: converged throughput after the warm-up, as % of the analytic
+// optimum. The shipped config must win or tie every row; each ablated knob
+// shows why it exists.
+#include "analysis/ppersistent.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace wlan;
+
+struct Variant {
+  const char* name;
+  bool log_space;
+  bool dead_zone_escape;
+  bool trust_region;
+  bool beacons;
+};
+
+double run_variant(const Variant& v, int n, std::uint64_t seed,
+                   const exp::RunOptions& opts) {
+  auto scenario = exp::ScenarioConfig::connected(n, seed);
+  scenario.phy.beacons_enabled = v.beacons;
+  auto scheme = exp::SchemeConfig::wtop_csma();
+  auto& kw = scheme.wtop.kw;
+  if (!v.log_space) {
+    kw.log_space = false;
+    kw.probe_min = 0.0;   // Algorithm 1's literal clamps
+    kw.value_min = 0.0;
+  }
+  if (!v.dead_zone_escape) kw.dead_measurement_threshold = -1.0;
+  if (!v.trust_region) kw.max_step = 0.0;
+  return exp::run_scenario(scenario, scheme, opts).total_mbps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlan;
+  bench::header("Ablation: KW design choices",
+                "wTOP-CSMA from pval=0.5 on connected stations; each row "
+                "disables one guard (see DESIGN.md deviations). N=40 "
+                "stresses the collision-dead zone; N=2 stresses gradient "
+                "overshoot (where the trust region earns its keep).");
+
+  exp::RunOptions opts;
+  const double s = util::bench_time_scale() * (util::bench_fast() ? 0.5 : 1.0);
+  opts.warmup = sim::Duration::seconds(25.0 * s);
+  opts.measure = sim::Duration::seconds(10.0 * s);
+
+  const std::vector<Variant> variants{
+      {"shipped (log, escape, trust, beacons)", true, true, true, true},
+      {"no log-space (paper literal probes)", false, true, true, true},
+      {"no dead-zone escape", true, false, true, true},
+      {"no trust region", true, true, false, true},
+      {"no beacons (ACK-only params)", true, true, true, false},
+      {"paper literal (all guards off)", false, false, false, false},
+  };
+
+  util::Table table({"Variant", "N=2 %opt", "N=40 %opt"});
+  util::CsvWriter csv("ablation_kw_design.csv");
+  csv.header({"variant", "n2_pct_of_optimum", "n40_pct_of_optimum"});
+
+  const mac::WifiParams phy;
+  auto optimum = [&](int n) {
+    std::vector<double> w(static_cast<std::size_t>(n), 1.0);
+    return analysis::ppersistent_system_throughput(
+               analysis::optimal_master_probability(w, phy), w, phy) /
+           1e6;
+  };
+  const double opt2 = optimum(2), opt40 = optimum(40);
+
+  for (const auto& v : variants) {
+    const double pct2 = 100.0 * run_variant(v, 2, /*seed=*/1, opts) / opt2;
+    const double pct40 = 100.0 * run_variant(v, 40, /*seed=*/2, opts) / opt40;
+    table.add_row(v.name, {pct2, pct40});
+    csv.row({v.name, util::format_double(pct2, 4),
+             util::format_double(pct40, 4)});
+  }
+  table.print(std::cout);
+  std::printf("\nAnalytic optima: %.2f Mb/s (N=2), %.2f Mb/s (N=40). "
+              "Expected: shipped config 90%%+ in both columns; each "
+              "ablation collapses at least one of them (the paper's pseudo "
+              "code needs all four guards in a capture-free PHY).\n",
+              opt2, opt40);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Each bench prints (a) a provenance header, (b) the same rows/series the
+// paper's figure or table reports, and (c) writes a CSV into the working
+// directory so the curve can be re-plotted. Durations scale with WLAN_BENCH_SECONDS
+// (a multiplier), seeds with WLAN_BENCH_SEEDS, and WLAN_BENCH_FAST trims
+// the sweep for smoke runs.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace wlan::bench {
+
+inline void header(const std::string& id, const std::string& what) {
+  std::printf("=== %s ===\n%s\n", id.c_str(), what.c_str());
+  std::printf("(scale with WLAN_BENCH_SECONDS / WLAN_BENCH_SEEDS; "
+              "WLAN_BENCH_FAST=1 for a smoke run)\n\n");
+}
+
+/// Node-count grid used by Figs. 1, 3, 6, 7 (10..60 in the paper).
+inline std::vector<int> node_grid() {
+  if (util::bench_fast()) return {10, 40};
+  return {10, 20, 30, 40, 50, 60};
+}
+
+/// Warm-up/measure windows for adaptive schemes, scaled by the env knob.
+inline exp::RunOptions adaptive_options() {
+  exp::RunOptions o;
+  const double s = util::bench_time_scale();
+  o.warmup = sim::Duration::seconds(15.0 * s);
+  o.measure = sim::Duration::seconds(10.0 * s);
+  return o;
+}
+
+/// Shorter windows for non-adaptive (fixed-parameter) runs.
+inline exp::RunOptions fixed_options() {
+  exp::RunOptions o;
+  const double s = util::bench_time_scale();
+  o.warmup = sim::Duration::seconds(1.0 * s);
+  o.measure = sim::Duration::seconds(5.0 * s);
+  return o;
+}
+
+inline int default_seeds() { return util::bench_seeds(1); }
+
+/// Mean total throughput over `seeds` seeds.
+inline double mean_mbps(const exp::ScenarioConfig& scenario,
+                        const exp::SchemeConfig& scheme,
+                        const exp::RunOptions& opts, int seeds) {
+  return exp::run_averaged(scenario, scheme, seeds, opts).mean_mbps;
+}
+
+}  // namespace wlan::bench

@@ -1,0 +1,51 @@
+// Extension: quantifies Section I's RTS/CTS argument. The paper dismisses
+// RTS/CTS because control frames go at 6 Mb/s while data goes at 54 Mb/s,
+// so the overhead is large even though RTS/CTS eliminates most hidden-node
+// data collisions. This bench measures both sides of that trade:
+// connected (overhead only) and hidden (protection vs overhead), for
+// standard 802.11 and for TORA-CSMA — showing that model-free tuning over
+// BASIC access (the paper's proposal) beats turning RTS/CTS on.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wlan;
+  bench::header("Extension: RTS/CTS trade-off (Section I)",
+                "Basic vs RTS/CTS access, connected and hidden (disc r=16), "
+                "standard 802.11 and TORA-CSMA");
+
+  const auto opts = bench::adaptive_options();
+  const std::vector<int> nodes = util::bench_fast()
+                                     ? std::vector<int>{20}
+                                     : std::vector<int>{10, 20, 40};
+
+  util::Table table({"Nodes", "Scheme", "Connected basic", "Connected RTS/CTS",
+                     "Hidden basic", "Hidden RTS/CTS"});
+  util::CsvWriter csv("ext_rtscts_tradeoff.csv");
+  csv.header({"nodes", "scheme", "connected_basic", "connected_rtscts",
+              "hidden_basic", "hidden_rtscts"});
+
+  for (int n : nodes) {
+    for (const auto& scheme :
+         {exp::SchemeConfig::standard(), exp::SchemeConfig::tora_csma()}) {
+      auto run = [&](bool hidden, bool rts) {
+        auto scenario = hidden ? exp::ScenarioConfig::hidden(n, 16.0, 1)
+                               : exp::ScenarioConfig::connected(n, 1);
+        if (rts) scenario.phy.rts_threshold_bits = 0;
+        return exp::run_scenario(scenario, scheme, opts).total_mbps;
+      };
+      const double cb = run(false, false), cr = run(false, true);
+      const double hb = run(true, false), hr = run(true, true);
+      table.add_row(std::to_string(n) + " " + scheme.name(),
+                    {cb, cr, hb, hr});
+      csv.row({std::to_string(n), scheme.name(), util::format_double(cb, 6),
+               util::format_double(cr, 6), util::format_double(hb, 6),
+               util::format_double(hr, 6)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nExpected: RTS/CTS costs throughput when connected (6 Mb/s "
+              "control frames), and TORA-CSMA over basic access matches or "
+              "beats RTS/CTS under hidden nodes — the paper's rationale for "
+              "tuning instead of reserving.\n");
+  return 0;
+}

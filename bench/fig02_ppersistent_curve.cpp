@@ -1,0 +1,71 @@
+// Figure 2: throughput of p-persistent CSMA vs log(attempt probability) in
+// a fully connected network, 20 and 40 nodes.
+//
+// Paper shape: bell (strictly quasi-concave) curves peaking in the low 20s
+// of Mb/s; the 40-node peak sits at a smaller p than the 20-node peak.
+// This bench prints the closed-form curve (eq. 3) densely and cross-checks
+// a handful of points against the event-driven simulator.
+#include <cmath>
+
+#include "analysis/ppersistent.hpp"
+#include "analysis/quasiconcave.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wlan;
+  bench::header("Figure 2",
+                "p-persistent throughput vs log(p), 20/40 nodes, connected "
+                "(analytic eq. 3 + simulator cross-check)");
+
+  const mac::WifiParams params;
+  util::Table table({"log(p)", "20 nodes (model)", "40 nodes (model)",
+                     "20 nodes (sim)", "40 nodes (sim)"});
+  util::CsvWriter csv("fig02_ppersistent_curve.csv");
+  csv.header({"log_p", "model_n20_mbps", "model_n40_mbps", "sim_n20_mbps",
+              "sim_n40_mbps"});
+
+  const auto sim_opts = bench::fixed_options();
+  std::vector<double> curve20, curve40;
+  const double step = util::bench_fast() ? 1.0 : 0.5;
+  for (double logp = -10.0; logp <= -2.0 + 1e-9; logp += step) {
+    const double p = std::exp(logp);
+    std::vector<double> w20(20, 1.0), w40(40, 1.0);
+    const double m20 =
+        analysis::ppersistent_system_throughput(p, w20, params) / 1e6;
+    const double m40 =
+        analysis::ppersistent_system_throughput(p, w40, params) / 1e6;
+    curve20.push_back(m20);
+    curve40.push_back(m40);
+
+    // Simulate every other grid point to keep runtime modest.
+    double s20 = NAN, s40 = NAN;
+    const bool simulate = std::fmod(std::abs(logp), 2.0 * step) < 1e-9;
+    if (simulate) {
+      s20 = exp::run_scenario(exp::ScenarioConfig::connected(20, 1),
+                              exp::SchemeConfig::fixed_p_persistent(p),
+                              sim_opts)
+                .total_mbps;
+      s40 = exp::run_scenario(exp::ScenarioConfig::connected(40, 1),
+                              exp::SchemeConfig::fixed_p_persistent(p),
+                              sim_opts)
+                .total_mbps;
+    }
+    table.add_row(util::format_double(logp, 3),
+                  {m20, m40, simulate ? s20 : NAN, simulate ? s40 : NAN});
+    csv.row_numeric({logp, m20, m40, s20, s40});
+  }
+
+  table.print(std::cout);
+
+  const auto r20 = analysis::check_unimodal(curve20, 0.0);
+  const auto r40 = analysis::check_unimodal(curve40, 0.0);
+  std::printf("\nQuasi-concave (20 nodes): %s;  (40 nodes): %s\n",
+              r20.unimodal ? "yes" : "NO", r40.unimodal ? "yes" : "NO");
+  std::printf("Peak p (20 nodes) ~ %.4f; (40 nodes) ~ %.4f — 40-node peak "
+              "at smaller p, as in the paper.\n",
+              analysis::optimal_master_probability(std::vector<double>(20, 1.0),
+                                                   params),
+              analysis::optimal_master_probability(std::vector<double>(40, 1.0),
+                                                   params));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 7: scheme comparison vs number of stations, nodes uniform in a
+// disc of radius 20 m (more hidden pairs than Fig. 6).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wlan;
+  bench::header("Figure 7",
+                "Scheme comparison vs number of stations, uniform disc "
+                "radius 20 m (more hidden pairs), Table I PHY");
+
+  const int seeds = bench::default_seeds();
+  const auto opts = bench::adaptive_options();
+
+  util::Table table({"Nodes", "TORA-CSMA", "wTOP-CSMA", "Std 802.11",
+                     "IdleSense", "hidden pairs"});
+  util::CsvWriter csv("fig07_hidden_r20_comparison.csv");
+  csv.header({"nodes", "tora_mbps", "wtop_mbps", "std_mbps",
+              "idlesense_mbps", "hidden_pairs"});
+
+  for (int n : bench::node_grid()) {
+    const auto scenario = exp::ScenarioConfig::hidden(n, 20.0, 1);
+    const auto info = exp::run_averaged(scenario, exp::SchemeConfig::standard(),
+                                        seeds, bench::fixed_options());
+    const double tora =
+        bench::mean_mbps(scenario, exp::SchemeConfig::tora_csma(), opts, seeds);
+    const double wtop =
+        bench::mean_mbps(scenario, exp::SchemeConfig::wtop_csma(), opts, seeds);
+    const double std80211 =
+        bench::mean_mbps(scenario, exp::SchemeConfig::standard(), opts, seeds);
+    const double idle = bench::mean_mbps(
+        scenario, exp::SchemeConfig::idle_sense_scheme(), opts, seeds);
+
+    table.add_row(std::to_string(n),
+                  {tora, wtop, std80211, idle, info.mean_hidden_pairs});
+    csv.row_numeric({static_cast<double>(n), tora, wtop, std80211, idle,
+                     info.mean_hidden_pairs});
+  }
+
+  table.print(std::cout);
+  std::printf("\nExpected shape: as Fig. 6 but with larger gaps (more hidden "
+              "pairs at radius 20).\n");
+  return 0;
+}

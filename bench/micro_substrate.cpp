@@ -1,0 +1,106 @@
+// google-benchmark micro-benchmarks of the simulation substrate: event
+// queue throughput, medium transmission processing, fixed-point and
+// optimal-p solvers, and end-to-end simulated-seconds-per-wall-second.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/bianchi.hpp"
+#include "analysis/ppersistent.hpp"
+#include "analysis/randomreset.hpp"
+#include "exp/runner.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wlan;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i)
+      q.schedule(sim::Time::from_ns(
+                     static_cast<std::int64_t>(rng.uniform_int(std::uint64_t{1000000}))),
+                 [] {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
+
+void BM_SimulatorSelfSchedulingChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = 100000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule_after(sim::Duration::nanoseconds(10), tick);
+    };
+    sim.schedule_after(sim::Duration::nanoseconds(10), tick);
+    sim.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulatorSelfSchedulingChain);
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(7);
+  double acc = 0;
+  for (auto _ : state) acc += rng.uniform();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_FixedPointSolve(benchmark::State& state) {
+  const auto q = analysis::random_reset_distribution(2, 0.5, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::solve_fixed_point(q, 40, 8));
+  }
+}
+BENCHMARK(BM_FixedPointSolve);
+
+void BM_OptimalMasterProbability(benchmark::State& state) {
+  const mac::WifiParams params;
+  std::vector<double> w(static_cast<std::size_t>(state.range(0)), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::optimal_master_probability(w, params));
+  }
+}
+BENCHMARK(BM_OptimalMasterProbability)->Arg(10)->Arg(60);
+
+/// End-to-end MAC simulation speed: simulated milliseconds per iteration of
+/// a 20-station saturated connected network near its optimal operating
+/// point. items/s * 100 = simulated-ms/s.
+void BM_MacSimulation20Stations(benchmark::State& state) {
+  auto net = exp::build_network(exp::ScenarioConfig::connected(20, 1),
+                                exp::SchemeConfig::fixed_p_persistent(0.01));
+  net->start();
+  for (auto _ : state) {
+    net->run_for(sim::Duration::milliseconds(100));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["events"] = static_cast<double>(
+      net->simulator().events_executed());
+}
+BENCHMARK(BM_MacSimulation20Stations)->Unit(benchmark::kMillisecond);
+
+void BM_MacSimulationHidden40(benchmark::State& state) {
+  auto net = exp::build_network(exp::ScenarioConfig::hidden(40, 16.0, 1),
+                                exp::SchemeConfig::standard());
+  net->start();
+  for (auto _ : state) {
+    net->run_for(sim::Duration::milliseconds(100));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MacSimulationHidden40)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

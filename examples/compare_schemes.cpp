@@ -1,0 +1,52 @@
+// Compares every channel-access scheme on a fully connected topology and on
+// hidden-node topologies — a miniature of the paper's Figs. 3, 6 and 7.
+//
+//   ./compare_schemes [--nodes 20] [--seconds 40] [--seed 1] [--radius 16]
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wlan;
+
+  util::Cli cli(argc, argv);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 20));
+  const double seconds = cli.get_double("seconds", 40.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const double radius = cli.get_double("radius", 16.0);
+
+  const std::vector<exp::SchemeConfig> schemes = {
+      exp::SchemeConfig::standard(),
+      exp::SchemeConfig::idle_sense_scheme(),
+      exp::SchemeConfig::wtop_csma(),
+      exp::SchemeConfig::tora_csma(),
+  };
+
+  exp::RunOptions opts;
+  opts.warmup = sim::Duration::seconds(seconds * 0.5);
+  opts.measure = sim::Duration::seconds(seconds * 0.5);
+
+  util::Table table({"Scheme", "Connected Mb/s", "Hidden Mb/s",
+                     "Hidden pairs", "Idle slots (hidden)"});
+
+  for (const auto& scheme : schemes) {
+    const auto connected = exp::run_scenario(
+        exp::ScenarioConfig::connected(nodes, seed), scheme, opts);
+    const auto hidden = exp::run_scenario(
+        exp::ScenarioConfig::hidden(nodes, radius, seed), scheme, opts);
+    table.add_row(scheme.name(),
+                  {connected.total_mbps, hidden.total_mbps,
+                   static_cast<double>(hidden.hidden_pairs),
+                   hidden.ap_avg_idle_slots});
+  }
+
+  std::printf("%d stations, disc radius %.0f m for the hidden scenario, "
+              "%.0f s per run\n\n",
+              nodes, radius, seconds);
+  table.print(std::cout);
+  return 0;
+}

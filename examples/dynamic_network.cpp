@@ -1,0 +1,58 @@
+// Dynamic population demo (Figs. 8-11 in miniature): stations join and
+// leave while wTOP-CSMA and TORA-CSMA re-tune online.
+//
+//   ./dynamic_network [--seconds 120] [--seed 1] [--scheme wtop|tora]
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wlan;
+
+  util::Cli cli(argc, argv);
+  const double seconds = cli.get_double("seconds", 120.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string scheme_name = cli.get_string("scheme", "wtop");
+
+  const auto scheme = scheme_name == "tora" ? exp::SchemeConfig::tora_csma()
+                                            : exp::SchemeConfig::wtop_csma();
+
+  // 5 -> 30 -> 12 active stations at thirds of the horizon.
+  const std::vector<exp::PopulationStep> schedule{
+      {0.0, 5}, {seconds / 3.0, 30}, {2.0 * seconds / 3.0, 12}};
+
+  std::printf("%s with a changing population: 5 -> 30 -> 12 stations over "
+              "%.0f s (fully connected)\n\n",
+              scheme.name().c_str(), seconds);
+
+  const auto r = exp::run_dynamic(exp::ScenarioConfig::connected(30, seed),
+                                  scheme, schedule,
+                                  sim::Duration::seconds(seconds),
+                                  sim::Duration::seconds(2.0));
+
+  std::printf("  t(s)   N   Mb/s   control\n");
+  std::printf("  ---------------------------------\n");
+  for (const auto& s : r.throughput_series.samples()) {
+    const double t = s.t_seconds;
+    std::printf("  %5.0f  %2.0f  %5.2f   %.4f\n", t,
+                r.active_nodes_series.value_at(t), s.value,
+                r.control_series.value_at(t));
+  }
+
+  std::printf("\nPhase summary (means over the settled part of each phase):\n");
+  const double third = seconds / 3.0;
+  const int pops[3] = {5, 30, 12};
+  for (int i = 0; i < 3; ++i) {
+    const double from = i * third + third * 0.5;
+    const double to = (i + 1) * third;
+    std::printf("  N=%2d: %5.2f Mb/s, control=%.4f\n", pops[i],
+                r.throughput_series.mean_in_window(from, to),
+                r.control_series.mean_in_window(from, to));
+  }
+  std::printf("\nThe control variable re-converges after every step while "
+              "throughput stays near the optimum — the paper's Figs. 8-11.\n");
+  return 0;
+}

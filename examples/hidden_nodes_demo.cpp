@@ -1,0 +1,90 @@
+// Hidden-node walk-through: places stations in a disc, reports the hidden
+// pair structure, visualizes the layout as ASCII, and shows why model-based
+// tuning (IdleSense) collapses while model-free tuning (TORA-CSMA) holds.
+//
+//   ./hidden_nodes_demo [--nodes 20] [--radius 16] [--seed 1] [--seconds 30]
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "topology/hidden.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void draw_layout(const wlan::topology::Layout& layout, double radius) {
+  // 41x21 character canvas; x spans [-radius, radius].
+  const int w = 41, h = 21;
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+  auto plot = [&](double x, double y, char c) {
+    const int cx = static_cast<int>((x + radius) / (2 * radius) * (w - 1) + 0.5);
+    const int cy = static_cast<int>((y + radius) / (2 * radius) * (h - 1) + 0.5);
+    if (cx >= 0 && cx < w && cy >= 0 && cy < h)
+      canvas[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = c;
+  };
+  plot(layout.ap.x, layout.ap.y, 'A');
+  for (std::size_t i = 0; i < layout.stations.size(); ++i)
+    plot(layout.stations[i].x, layout.stations[i].y,
+         static_cast<char>('a' + (i % 26)));
+  for (const auto& row : canvas) std::printf("  |%s|\n", row.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wlan;
+
+  util::Cli cli(argc, argv);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 20));
+  const double radius = cli.get_double("radius", 16.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const double seconds = cli.get_double("seconds", 30.0);
+
+  const auto scenario = exp::ScenarioConfig::hidden(nodes, radius, seed);
+  const auto layout = exp::make_layout(scenario);
+  const phy::DiscPropagation prop(scenario.decode_radius,
+                                  scenario.sense_radius);
+  const auto report = topology::analyze_hidden(layout, prop);
+
+  std::printf("Topology: %d stations uniform in a disc of radius %.0f m, "
+              "AP at the center ('A'), sensing range %.0f m\n\n",
+              nodes, radius, scenario.sense_radius);
+  draw_layout(layout, radius);
+
+  std::printf("\nHidden pairs (cannot sense each other): %zu\n",
+              report.hidden_pairs.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, report.hidden_pairs.size());
+       ++i) {
+    const auto [a, b] = report.hidden_pairs[i];
+    std::printf("  station %c <-> station %c  (%.1f m apart)\n",
+                static_cast<char>('a' + a % 26),
+                static_cast<char>('a' + b % 26),
+                phy::distance(layout.stations[static_cast<std::size_t>(a)],
+                              layout.stations[static_cast<std::size_t>(b)]));
+  }
+  if (report.hidden_pairs.size() > 8) std::printf("  ...\n");
+
+  exp::RunOptions opts;
+  opts.warmup = sim::Duration::seconds(seconds * 0.6);
+  opts.measure = sim::Duration::seconds(seconds * 0.4);
+
+  std::printf("\nRunning the four schemes on this topology (%.0f s each):\n\n",
+              seconds);
+  util::Table table({"Scheme", "Mb/s", "AP idle slots/tx"});
+  for (const auto& scheme :
+       {exp::SchemeConfig::standard(), exp::SchemeConfig::idle_sense_scheme(),
+        exp::SchemeConfig::wtop_csma(), exp::SchemeConfig::tora_csma()}) {
+    const auto r = exp::run_scenario(scenario, scheme, opts);
+    table.add_row(scheme.name(), {r.total_mbps, r.ap_avg_idle_slots});
+  }
+  table.print(std::cout);
+
+  std::printf("\nReading: IdleSense steers the channel to a FIXED idle-slot "
+              "target that is only optimal without hidden nodes; wTOP/TORA "
+              "climb the measured throughput directly, so the idle-slot "
+              "level they settle at is whatever this topology needs.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Weighted fairness with wTOP-CSMA: stations pick weights independently
+// (no AP coordination, Lemma 1 / Table II) and the allocation tracks them.
+//
+// Also demonstrates a mid-run weight change: station 0 raises its weight
+// from 1 to 5 halfway through, and its share follows.
+//
+//   ./weighted_fairness [--nodes 8] [--seconds 60] [--seed 1]
+#include <cstdio>
+#include <iostream>
+
+#include "exp/runner.hpp"
+#include "mac/access_strategy.hpp"
+#include "stats/fairness.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wlan;
+
+  util::Cli cli(argc, argv);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 8));
+  const double seconds = cli.get_double("seconds", 60.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  // Phase 1: weights 1,2,...  (each station just knows its own weight).
+  auto scheme = exp::SchemeConfig::wtop_csma();
+  for (int i = 0; i < nodes; ++i)
+    scheme.weights.push_back(1.0 + i % 3);  // weights 1,2,3,1,2,3,...
+
+  std::printf("Phase 1: stations with weights 1,2,3,1,2,3,... under "
+              "wTOP-CSMA\n\n");
+  exp::RunOptions opts;
+  opts.warmup = sim::Duration::seconds(seconds * 0.4);
+  opts.measure = sim::Duration::seconds(seconds * 0.6);
+  const auto result = exp::run_scenario(
+      exp::ScenarioConfig::connected(nodes, seed), scheme, opts);
+
+  util::Table table({"Station", "Weight", "Mb/s", "Mb/s per weight"});
+  const auto norm =
+      stats::normalized_throughput(result.per_station_mbps, scheme.weights);
+  for (int i = 0; i < nodes; ++i) {
+    table.add_row(std::to_string(i),
+                  {scheme.weights[static_cast<std::size_t>(i)],
+                   result.per_station_mbps[static_cast<std::size_t>(i)],
+                   norm[static_cast<std::size_t>(i)]});
+  }
+  table.print(std::cout);
+  std::printf("\nWeighted Jain index: %.4f   total: %.2f Mb/s\n\n",
+              stats::weighted_jain_index(result.per_station_mbps,
+                                         scheme.weights),
+              result.total_mbps);
+
+  // Phase 2: dynamic weight change in a LIVE network. The weight lives
+  // entirely in the station's own strategy object; nothing else is told.
+  std::printf("Phase 2: station 0 raises its weight 1 -> 5 mid-run "
+              "(nobody else is told)\n\n");
+  auto eq_scheme = exp::SchemeConfig::wtop_csma();  // all weights 1
+  auto net = exp::build_network(exp::ScenarioConfig::connected(nodes, seed),
+                                eq_scheme);
+  net->start();
+  net->run_for(sim::Duration::seconds(seconds * 0.5));  // converge
+  net->reset_counters();
+  net->run_for(sim::Duration::seconds(seconds * 0.25));
+  const auto before = net->counters().per_node_mbps(net->measured_duration());
+
+  static_cast<mac::PPersistentStrategy&>(net->station(0).strategy())
+      .set_weight(5.0);
+  net->run_for(sim::Duration::seconds(seconds * 0.25));  // settle
+  net->reset_counters();
+  net->run_for(sim::Duration::seconds(seconds * 0.5));
+  const auto after = net->counters().per_node_mbps(net->measured_duration());
+
+  std::printf("Station 0 share before: %.2f Mb/s (weight 1) -> after: %.2f "
+              "Mb/s (weight 5)\n",
+              before[0], after[0]);
+  std::printf("Other stations: ~%.2f Mb/s each; total stays ~%.1f Mb/s.\n",
+              after[1], net->total_mbps());
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "analysis/bianchi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wlan::analysis {
+
+std::vector<double> alpha_values(double c, int m) {
+  if (c < 0.0 || c > 1.0)
+    throw std::invalid_argument("alpha_values: c outside [0,1]");
+  if (m < 0) throw std::invalid_argument("alpha_values: m < 0");
+  std::vector<double> alpha(static_cast<std::size_t>(m) + 1);
+  alpha[static_cast<std::size_t>(m)] = std::ldexp(1.0, m);  // 2^m
+  for (int j = m - 1; j >= 0; --j)
+    alpha[static_cast<std::size_t>(j)] =
+        (1.0 - c) * std::ldexp(1.0, j) +
+        c * alpha[static_cast<std::size_t>(j) + 1];
+  return alpha;
+}
+
+double tau_given_c(std::span<const double> reset_distribution, double c,
+                   int cw_min) {
+  if (reset_distribution.empty())
+    throw std::invalid_argument("tau_given_c: empty reset distribution");
+  if (cw_min < 1) throw std::invalid_argument("tau_given_c: cw_min < 1");
+  const int m = static_cast<int>(reset_distribution.size()) - 1;
+  const auto alpha = alpha_values(c, m);
+  double denom = 0.0;
+  double mass = 0.0;
+  for (std::size_t j = 0; j < reset_distribution.size(); ++j) {
+    if (reset_distribution[j] < 0.0)
+      throw std::invalid_argument("tau_given_c: negative probability");
+    denom += reset_distribution[j] * alpha[j];
+    mass += reset_distribution[j];
+  }
+  if (std::abs(mass - 1.0) > 1e-9)
+    throw std::invalid_argument("tau_given_c: distribution must sum to 1");
+  const double kappa0 = 2.0 / static_cast<double>(cw_min);
+  return kappa0 / denom;
+}
+
+double conditional_collision_probability(double tau, int n) {
+  if (n < 1)
+    throw std::invalid_argument("conditional_collision_probability: n < 1");
+  return 1.0 - std::pow(1.0 - tau, n - 1);
+}
+
+FixedPoint solve_fixed_point(std::span<const double> reset_distribution,
+                             int n, int cw_min, double tolerance) {
+  // g(c) = c(tau_c) - c is decreasing from g(0) >= 0 to g(1) <= 0; bisect.
+  double lo = 0.0, hi = 1.0;
+  auto g = [&](double c) {
+    const double tau = tau_given_c(reset_distribution, c, cw_min);
+    return conditional_collision_probability(tau, n) - c;
+  };
+  for (int i = 0; i < 200 && hi - lo > tolerance; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (g(mid) > 0.0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const double c = 0.5 * (lo + hi);
+  return FixedPoint{tau_given_c(reset_distribution, c, cw_min), c};
+}
+
+double slotted_throughput(double tau, int n, const mac::WifiParams& params) {
+  if (n < 1) throw std::invalid_argument("slotted_throughput: n < 1");
+  if (tau < 0.0 || tau > 1.0)
+    throw std::invalid_argument("slotted_throughput: tau outside [0,1]");
+  if (tau == 0.0) return 0.0;
+
+  const double pi = std::pow(1.0 - tau, n);  // idle slot
+  const double ps =
+      static_cast<double>(n) * tau * std::pow(1.0 - tau, n - 1);  // success
+  const double pc = 1.0 - pi - ps;                                // collision
+
+  const double sigma = params.slot.s();
+  const double ts = params.success_duration().s();
+  const double tc = params.collision_duration().s();
+  const double ep = static_cast<double>(params.payload_bits);
+
+  const double denom = pi * sigma + ps * ts + pc * tc;
+  return ep * ps / denom;
+}
+
+}  // namespace wlan::analysis

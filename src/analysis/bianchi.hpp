@@ -1,0 +1,54 @@
+// Bianchi-style fixed-point model of exponential backoff (paper Appendix A,
+// Eqs. 9-10), generalized to an arbitrary reset distribution q over backoff
+// stages, plus the classical slotted saturation-throughput formula.
+//
+// Under the decoupling assumption (collision probability c independent of
+// the backoff stage), the attempt probability of a node running exponential
+// backoff with reset distribution q is
+//
+//   tau_c(q) = kappa_0 / sum_j q_j alpha_j(c),     kappa_0 = 2 / CWmin,
+//
+// where alpha obeys the backward recursion
+//
+//   alpha_m(c) = 2^m,    alpha_j(c) = (1-c) 2^j + c alpha_{j+1}(c).
+//
+// The operating point couples tau with c = 1 - (1 - tau)^(N-1) (eq. 10);
+// the fixed point is unique because tau_c is decreasing and c(tau) is
+// increasing (Lemma 2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mac/wifi_params.hpp"
+
+namespace wlan::analysis {
+
+/// alpha_j(c) for j = 0..m (Appendix A). c in [0, 1].
+std::vector<double> alpha_values(double c, int m);
+
+/// Attempt probability given conditional collision probability c (eq. 9).
+/// `reset_distribution` must have m+1 non-negative entries summing to ~1.
+double tau_given_c(std::span<const double> reset_distribution, double c,
+                   int cw_min);
+
+/// Conditional collision probability seen by one of n nodes all attempting
+/// with probability tau (eq. 10).
+double conditional_collision_probability(double tau, int n);
+
+/// Result of solving the coupled fixed point (eqs. 9 + 10).
+struct FixedPoint {
+  double tau;  // per-node attempt probability
+  double c;    // conditional collision probability
+};
+
+/// Unique fixed point for n nodes with the given reset distribution.
+FixedPoint solve_fixed_point(std::span<const double> reset_distribution,
+                             int n, int cw_min, double tolerance = 1e-13);
+
+/// Classical slotted saturation throughput (bits/s) when each of n nodes
+/// attempts with probability tau per idle slot (Bianchi 2000; also eq. 3
+/// specialized to equal probabilities).
+double slotted_throughput(double tau, int n, const mac::WifiParams& params);
+
+}  // namespace wlan::analysis

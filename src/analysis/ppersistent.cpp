@@ -1,0 +1,129 @@
+#include "analysis/ppersistent.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wlan::analysis {
+
+namespace {
+
+void validate(double p, std::span<const double> weights) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("p-persistent model: p outside [0,1]");
+  if (weights.empty())
+    throw std::invalid_argument("p-persistent model: no stations");
+  for (double w : weights)
+    if (w <= 0.0)
+      throw std::invalid_argument("p-persistent model: weight <= 0");
+}
+
+struct SlotProbabilities {
+  double pi;  // PI: all stations silent
+  double pt;  // PT: sum p_i / (1 - p_i)
+  std::vector<double> p;
+};
+
+SlotProbabilities slot_probabilities(double master_p,
+                                     std::span<const double> weights) {
+  SlotProbabilities out;
+  out.pi = 1.0;
+  out.pt = 0.0;
+  out.p.reserve(weights.size());
+  for (double w : weights) {
+    const double pi_t = weighted_attempt_probability(master_p, w);
+    out.p.push_back(pi_t);
+    out.pi *= 1.0 - pi_t;
+    if (pi_t >= 1.0) {
+      out.pt = INFINITY;
+    } else {
+      out.pt += pi_t / (1.0 - pi_t);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double weighted_attempt_probability(double master_p, double weight) {
+  return weight * master_p / (1.0 + (weight - 1.0) * master_p);
+}
+
+double ppersistent_system_throughput(double master_p,
+                                     std::span<const double> weights,
+                                     const mac::WifiParams& params) {
+  validate(master_p, weights);
+  if (master_p == 0.0) return 0.0;
+  const auto sp = slot_probabilities(master_p, weights);
+  if (!std::isfinite(sp.pt)) return 0.0;  // some station at p_i = 1: jammed
+
+  const double sigma = params.slot.s();
+  const double ts = params.success_duration().s();
+  const double tc = params.collision_duration().s();
+  const double ep = static_cast<double>(params.payload_bits);
+
+  const double success = sp.pt * sp.pi;  // exactly-one-transmitter prob
+  const double denom =
+      sp.pi * sigma + success * (ts - tc) + (1.0 - sp.pi) * tc;
+  return ep * success / denom;
+}
+
+std::vector<double> ppersistent_per_station_throughput(
+    double master_p, std::span<const double> weights,
+    const mac::WifiParams& params) {
+  validate(master_p, weights);
+  const double total =
+      ppersistent_system_throughput(master_p, weights, params);
+  // Eq. 2: S_t proportional to p_t / (1 - p_t); with Lemma 1's transform
+  // that ratio equals w_t * p/(1-p), so shares are proportional to weights.
+  const auto sp = slot_probabilities(master_p, weights);
+  std::vector<double> shares(weights.size(), 0.0);
+  double share_sum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    shares[i] = sp.p[i] >= 1.0 ? INFINITY : sp.p[i] / (1.0 - sp.p[i]);
+    share_sum += shares[i];
+  }
+  std::vector<double> out(weights.size(), 0.0);
+  if (share_sum <= 0.0 || !std::isfinite(share_sum)) return out;
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    out[i] = total * shares[i] / share_sum;
+  return out;
+}
+
+double ppersistent_throughput_equal(double p, int n,
+                                    const mac::WifiParams& params) {
+  std::vector<double> weights(static_cast<std::size_t>(n), 1.0);
+  return ppersistent_system_throughput(p, weights, params);
+}
+
+double ppersistent_f(double master_p, std::span<const double> weights,
+                     const mac::WifiParams& params) {
+  validate(master_p, weights);
+  const auto sp = slot_probabilities(master_p, weights);
+  double sum_p = 0.0;
+  for (double v : sp.p) sum_p += v;
+  const double tc_star = params.tc_star();
+  return tc_star * (1.0 - sum_p - sp.pi) + sp.pi;
+}
+
+double optimal_master_probability(std::span<const double> weights,
+                                  const mac::WifiParams& params,
+                                  double tolerance) {
+  // f is continuous, f(0+) = 1 > 0, f(1) = -(N-1)Tc* < 0 (Theorem 2), and
+  // strictly decreasing: bisect.
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 200 && hi - lo > tolerance; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (ppersistent_f(mid, weights, params) > 0.0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double approx_optimal_probability(int n, const mac::WifiParams& params) {
+  if (n < 1) throw std::invalid_argument("approx_optimal_probability: n < 1");
+  return 1.0 / (static_cast<double>(n) * std::sqrt(params.tc_star() / 2.0));
+}
+
+}  // namespace wlan::analysis

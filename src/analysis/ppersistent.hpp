@@ -1,0 +1,58 @@
+// Closed-form saturation throughput of weighted p-persistent CSMA in a
+// fully connected network (paper Section III, Eqs. 2-3 and 6-8).
+//
+// With master probability p, station t uses p_t = w_t p / (1 + (w_t - 1) p)
+// (Lemma 1). Writing PI = prod(1 - p_i), PT = sum p_i/(1 - p_i):
+//
+//   S(p, W) = EP * PT * PI /
+//             ( PI*sigma + PT*PI*(Ts - Tc) + (1 - PI)*Tc )          (eq. 3)
+//
+// Theorem 2 shows S is strictly quasi-concave in p with the unique optimum
+// at the root of
+//
+//   f(p, W) = Tc* (1 - sum p_i - PI) + PI                           (proof)
+//
+// and eq. 8 gives the classical approximation p* ~ 1/(N sqrt(Tc*/2)) for
+// unit weights.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mac/wifi_params.hpp"
+
+namespace wlan::analysis {
+
+/// Per-station attempt probability from the master p (Lemma 1).
+double weighted_attempt_probability(double master_p, double weight);
+
+/// System throughput in bits/s (eq. 3). Weights must be positive;
+/// p in [0, 1].
+double ppersistent_system_throughput(double master_p,
+                                     std::span<const double> weights,
+                                     const mac::WifiParams& params);
+
+/// Per-station throughputs in bits/s (eq. 2).
+std::vector<double> ppersistent_per_station_throughput(
+    double master_p, std::span<const double> weights,
+    const mac::WifiParams& params);
+
+/// Convenience for N equal-weight stations.
+double ppersistent_throughput_equal(double p, int n,
+                                    const mac::WifiParams& params);
+
+/// f(p, W) from the proof of Theorem 2; positive left of the optimum,
+/// negative right of it, with a unique root in (0, 1).
+double ppersistent_f(double master_p, std::span<const double> weights,
+                     const mac::WifiParams& params);
+
+/// Optimal master probability: the root of f (bisection; Theorem 2
+/// guarantees uniqueness and a sign change on (0, 1)).
+double optimal_master_probability(std::span<const double> weights,
+                                  const mac::WifiParams& params,
+                                  double tolerance = 1e-12);
+
+/// Eq. 8: p* ~ 1 / (N sqrt(Tc*/2)) for N equal-weight stations.
+double approx_optimal_probability(int n, const mac::WifiParams& params);
+
+}  // namespace wlan::analysis

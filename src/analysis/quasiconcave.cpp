@@ -1,0 +1,42 @@
+#include "analysis/quasiconcave.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wlan::analysis {
+
+UnimodalityReport check_unimodal(std::span<const double> ys,
+                                 double relative_tolerance) {
+  UnimodalityReport report;
+  if (ys.size() < 3) {
+    report.unimodal = true;
+    return report;
+  }
+
+  double max_abs = 0.0;
+  for (double y : ys) max_abs = std::max(max_abs, std::abs(y));
+  const double band = relative_tolerance * max_abs;
+
+  report.peak_index = static_cast<std::size_t>(
+      std::max_element(ys.begin(), ys.end()) - ys.begin());
+
+  // Before the peak: a running maximum may only be undercut by `band`.
+  double violation = 0.0;
+  double running_max = ys.front();
+  for (std::size_t i = 1; i <= report.peak_index; ++i) {
+    violation = std::max(violation, running_max - ys[i] /* dip depth */);
+    running_max = std::max(running_max, ys[i]);
+  }
+  // After the peak: a running minimum may only be exceeded by `band`.
+  double running_min = ys[report.peak_index];
+  for (std::size_t i = report.peak_index + 1; i < ys.size(); ++i) {
+    violation = std::max(violation, ys[i] - running_min /* rise height */);
+    running_min = std::min(running_min, ys[i]);
+  }
+
+  report.max_violation = violation;
+  report.unimodal = violation <= band;
+  return report;
+}
+
+}  // namespace wlan::analysis

@@ -1,0 +1,31 @@
+// Noise-tolerant unimodality (quasi-concavity) checking for sampled curves.
+//
+// The Kiefer-Wolfowitz guarantee needs the objective to be quasi-concave in
+// the control variable (Theorem 2 proves it analytically for the connected
+// case; Section V argues it empirically for hidden-node topologies via
+// Figs. 4-5). This checker turns that argument into an assertable property:
+// a sampled curve is accepted as unimodal if it never rises after falling by
+// more than a tolerance band (absolute = tolerance * max |y|).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace wlan::analysis {
+
+struct UnimodalityReport {
+  bool unimodal = false;
+  std::size_t peak_index = 0;  // argmax of the samples
+  /// Largest tolerance-band violation found (0 when perfectly unimodal):
+  /// max rise after the peak / max fall before the peak, in y units.
+  double max_violation = 0.0;
+};
+
+/// Checks that ys is non-decreasing up to its maximum and non-increasing
+/// after it, allowing dips/rises up to `relative_tolerance` * max|y|
+/// (measurement noise). Curves with fewer than 3 points are trivially
+/// unimodal.
+UnimodalityReport check_unimodal(std::span<const double> ys,
+                                 double relative_tolerance = 0.0);
+
+}  // namespace wlan::analysis

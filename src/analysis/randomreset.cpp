@@ -1,0 +1,48 @@
+#include "analysis/randomreset.hpp"
+
+#include <stdexcept>
+
+namespace wlan::analysis {
+
+std::vector<double> random_reset_distribution(int stage, double p0, int m) {
+  if (m < 1) throw std::invalid_argument("random_reset_distribution: m < 1");
+  if (stage < 0 || stage > m - 1)
+    throw std::invalid_argument(
+        "random_reset_distribution: stage outside [0, m-1]");
+  if (p0 < 0.0 || p0 > 1.0)
+    throw std::invalid_argument("random_reset_distribution: p0 outside [0,1]");
+  std::vector<double> q(static_cast<std::size_t>(m) + 1, 0.0);
+  q[static_cast<std::size_t>(stage)] = p0;
+  const double rest = (1.0 - p0) / static_cast<double>(m - stage);
+  for (int i = stage + 1; i <= m; ++i) q[static_cast<std::size_t>(i)] = rest;
+  return q;
+}
+
+double random_reset_tau_given_c(int stage, double p0, double c, int cw_min,
+                                int m) {
+  const auto q = random_reset_distribution(stage, p0, m);
+  return tau_given_c(q, c, cw_min);
+}
+
+FixedPoint random_reset_fixed_point(int stage, double p0, int n, int cw_min,
+                                    int m) {
+  const auto q = random_reset_distribution(stage, p0, m);
+  return solve_fixed_point(q, n, cw_min);
+}
+
+double random_reset_throughput(int stage, double p0, int n,
+                               const mac::WifiParams& params) {
+  const int m = params.num_backoff_stages();
+  const auto fp = random_reset_fixed_point(stage, p0, n, params.cw_min, m);
+  return slotted_throughput(fp.tau, n, params);
+}
+
+TauRange reachable_tau_range(int n, int cw_min, int m) {
+  // Lemma 6: the extremes are "always reset to the deepest stage"
+  // (j = m-1, p0 = 0, i.e. stay in stage m) and "always reset to stage 0".
+  const auto low = random_reset_fixed_point(m - 1, 0.0, n, cw_min, m);
+  const auto high = random_reset_fixed_point(0, 1.0, n, cw_min, m);
+  return TauRange{low.tau, high.tau};
+}
+
+}  // namespace wlan::analysis

@@ -1,0 +1,39 @@
+// RandomReset(j; p0) analysis (paper Definition 4, eq. 11, Lemmas 4-8,
+// Figs. 12-13): specializes the Bianchi fixed-point machinery to the
+// two-parameter reset family and exposes the quantities the paper plots.
+#pragma once
+
+#include <vector>
+
+#include "analysis/bianchi.hpp"
+#include "mac/wifi_params.hpp"
+
+namespace wlan::analysis {
+
+/// The reset distribution of RandomReset(j; p0) over stages 0..m
+/// (Definition 4): q_j = p0, q_i = (1-p0)/(m-j) for i in {j+1..m}.
+/// Requires 0 <= j <= m-1 (at j = m the distribution is the point mass).
+std::vector<double> random_reset_distribution(int stage, double p0, int m);
+
+/// Attempt probability given conditional collision probability c (eq. 11).
+double random_reset_tau_given_c(int stage, double p0, double c, int cw_min,
+                                int m);
+
+/// Fixed-point attempt probability tau(j; p0) for n nodes.
+FixedPoint random_reset_fixed_point(int stage, double p0, int n, int cw_min,
+                                    int m);
+
+/// Saturation throughput S~(j, p0) in bits/s for n nodes in a fully
+/// connected network (Lemma 8 / Fig. 13).
+double random_reset_throughput(int stage, double p0, int n,
+                               const mac::WifiParams& params);
+
+/// Range of attempt probabilities reachable by ANY exponential-backoff
+/// reset distribution: [tau(m-1; 0), tau(0; 1)] (Lemma 6).
+struct TauRange {
+  double low;   // tau(m-1; 0)
+  double high;  // tau(0; 1)
+};
+TauRange reachable_tau_range(int n, int cw_min, int m);
+
+}  // namespace wlan::analysis

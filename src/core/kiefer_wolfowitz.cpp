@@ -1,0 +1,99 @@
+#include "core/kiefer_wolfowitz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wlan::core {
+
+KieferWolfowitz::KieferWolfowitz(const KwOptions& options)
+    : options_(options), k_(options.initial_k) {
+  if (options.initial_k < 1)
+    throw std::invalid_argument("KieferWolfowitz: initial_k must be >= 1");
+  if (options.probe_min > options.probe_max)
+    throw std::invalid_argument("KieferWolfowitz: empty probe range");
+  if (options.value_min > options.value_max)
+    throw std::invalid_argument("KieferWolfowitz: empty value range");
+  if (options.b_exponent <= 0.0 || options.b_exponent >= 0.5)
+    // b in (0, 1/2) is required for sum (a_k/b_k)^2 < inf with a_k ~ 1/k.
+    throw std::invalid_argument("KieferWolfowitz: b_exponent outside (0,1/2)");
+  if (options.log_space &&
+      (options.initial <= 0.0 || options.value_min <= 0.0 ||
+       options.probe_min <= 0.0))
+    throw std::invalid_argument(
+        "KieferWolfowitz: log_space requires positive initial/min bounds");
+  value_ = clamp_internal_value(to_internal(options.initial));
+}
+
+double KieferWolfowitz::to_internal(double external) const {
+  return options_.log_space ? std::log(external) : external;
+}
+
+double KieferWolfowitz::to_external(double internal) const {
+  return options_.log_space ? std::exp(internal) : internal;
+}
+
+double KieferWolfowitz::a_k() const {
+  return options_.gain / static_cast<double>(k_);
+}
+
+double KieferWolfowitz::b_k() const {
+  return std::pow(static_cast<double>(k_), -options_.b_exponent);
+}
+
+double KieferWolfowitz::clamp_internal_value(double v) const {
+  return std::clamp(v, to_internal(options_.value_min),
+                    to_internal(options_.value_max));
+}
+
+double KieferWolfowitz::clamp_external_probe(double v) const {
+  return std::clamp(v, options_.probe_min, options_.probe_max);
+}
+
+double KieferWolfowitz::estimate() const { return to_external(value_); }
+
+double KieferWolfowitz::probe() const {
+  const double offset = plus_phase_ ? b_k() : -b_k();
+  return clamp_external_probe(to_external(value_ + offset));
+}
+
+void KieferWolfowitz::report(double y) {
+  if (plus_phase_) {
+    y_plus_ = y;           // Algorithm 1 line 7: Splus
+    plus_phase_ = false;   // line 8: switch to the minus segment
+    return;
+  }
+  // Algorithm 1 lines 10-13: gradient step and advance to the next frame.
+  const double y_minus = y;
+  const double thr = options_.dead_measurement_threshold;
+  if (thr >= 0.0 && y_plus_ <= thr && y_minus <= thr &&
+      estimate() > options_.dead_zone_floor) {
+    // Both probes dead: the gradient carries no signal. Escape downward
+    // (see KwOptions::dead_measurement_threshold).
+    last_gradient_ = 0.0;
+    value_ = clamp_internal_value(value_ - b_k());
+  } else {
+    last_gradient_ = (y_plus_ - y_minus) / b_k();
+    double step = a_k() * last_gradient_;
+    if (options_.max_step > 0.0)
+      step = std::clamp(step, -options_.max_step, options_.max_step);
+    value_ = clamp_internal_value(value_ + step);
+  }
+  ++k_;
+  ++iterations_;
+  plus_phase_ = true;
+}
+
+void KieferWolfowitz::reset_value(double value) {
+  value_ = clamp_internal_value(to_internal(value));
+  plus_phase_ = true;
+}
+
+void KieferWolfowitz::reset_all(double value) {
+  reset_value(value);
+  k_ = options_.initial_k;
+  iterations_ = 0;
+  last_gradient_ = 0.0;
+}
+
+}  // namespace wlan::core

@@ -1,0 +1,131 @@
+// Kiefer-Wolfowitz stochastic approximation (Section III.B).
+//
+// Finds the maximizer of an unknown quasi-concave function S(x) from noisy
+// measurements y with E[y | x] = S(x). The iterate x^(k) is updated from
+// finite-difference probes at x +- b_k:
+//
+//     x^(k+1) = x^(k) + a_k * (y_plus - y_minus) / b_k          (paper eq. 5)
+//
+// with a_k = gain/k and b_k = k^(-b_exponent); the paper uses gain = 1 and
+// b_exponent = 1/3, which satisfy the Kiefer-Wolfowitz step conditions
+// (sum a_k = inf, sum a_k b_k < inf, sum (a_k/b_k)^2 < inf).
+//
+// Probe domain. The recursion can run on the control variable directly
+// (log_space = false; TORA-CSMA's p0 in [0,1]) or on its logarithm
+// (log_space = true; wTOP-CSMA's attempt probability). The attempt
+// probability must be tuned in log-space because its optimum scales as
+// Theta(1/N) (eq. 8): a linear +-b_k probe would dwarf p* for any
+// realistic N until k ~ (1/p*)^3, while log-space probes are
+// multiplicative (p * e^{+-b_k}) and track any magnitude. The paper's own
+// plots confirm this choice: Figs. 2/4 sweep log(attempt probability) and
+// Fig. 9 reports -log(p) with oscillations of constant +-b_k amplitude in
+// the log domain. Quasi-concavity is preserved (log is monotone).
+//
+// This class is measurement-driven and simulator-agnostic: call probe() to
+// get the point to evaluate next, then report() its measured value; plus and
+// minus probes alternate automatically (Algorithm 1 lines 6-13). It is the
+// shared engine of wTOP-CSMA and TORA-CSMA.
+//
+// Units note: Algorithm 1 measures segment throughput as bytes/period
+// without fixing units. The step size a_k*dy/b_k inherits the measurement
+// scale, so callers should report throughput in Mb/s for 802.11a/g rates
+// (values 0..~30), which makes gain = 1 well-conditioned. The `gain` option
+// rescales if a different unit is preferred.
+#pragma once
+
+namespace wlan::core {
+
+struct KwOptions {
+  double initial = 0.5;      // x^(k0), Algorithm 1 line 2
+  double probe_min = 0.0;    // clamp for the probed point (external domain)
+  double probe_max = 0.9;    // Algorithm 1 line 13 clamps p + b_k to 0.9
+  double value_min = 0.0;    // clamp for the iterate itself (external domain)
+  double value_max = 1.0;
+  double gain = 1.0;         // a_k = gain / k
+  double b_exponent = 1.0 / 3.0;  // b_k = k^(-b_exponent)
+  int initial_k = 2;         // Algorithm 1 line 1 starts at k = 2
+  /// Run the recursion on ln(x) instead of x (see header comment). All
+  /// other fields remain expressed in the external (linear) domain and
+  /// must be positive when set.
+  bool log_space = false;
+  /// Dead-zone escape. When BOTH probe measurements of an iteration fall at
+  /// or below this threshold, the finite-difference gradient is ~0/b_k and
+  /// the plain recursion stalls. For channel-access tuning a pair of dead
+  /// probes means the medium is collision-saturated (the under-utilized
+  /// side never measures exactly zero because probe_min keeps some traffic
+  /// alive), so the iterate steps DOWN by b_k instead. Negative disables
+  /// the escape. This guard is an implementation necessity the paper's
+  /// pseudo code omits: with initial pval = 0.5 and 40+ capture-free
+  /// stations, both of Algorithm 1's first probes yield zero throughput.
+  double dead_measurement_threshold = -1.0;
+  /// The escape only fires while estimate() exceeds this floor (external
+  /// domain). Guards the degenerate bottom: for a near-empty network a
+  /// minuscule iterate can legitimately measure "dead" at both probes, and
+  /// stepping further down would pin it at value_min.
+  double dead_zone_floor = 0.0;
+  /// Trust region: per-iteration |step| cap in the RECURSION domain (so in
+  /// ln-units when log_space is set). The objective's gradient magnitude
+  /// varies by orders of magnitude across the domain (Fig. 2's curve is
+  /// nearly flat at the bottom and cliff-steep past the peak), so an early
+  /// large-a_k iteration can otherwise catapult the iterate across the
+  /// whole range. Near convergence steps are tiny and the cap is inactive,
+  /// preserving the Kiefer-Wolfowitz asymptotics. <= 0 disables.
+  double max_step = 0.0;
+};
+
+class KieferWolfowitz {
+ public:
+  explicit KieferWolfowitz(const KwOptions& options);
+  KieferWolfowitz() : KieferWolfowitz(KwOptions{}) {}
+
+  /// The point the system should operate at right now: estimate() offset by
+  /// +-b_k in the recursion domain, clamped to [probe_min, probe_max].
+  double probe() const;
+
+  /// True while the pending measurement is the +b_k segment.
+  bool plus_phase() const { return plus_phase_; }
+
+  /// Feeds the measured objective for the current probe. Completing a
+  /// minus-phase measurement performs one gradient update (eq. 5) and
+  /// advances k.
+  void report(double y);
+
+  /// Current iterate x^(k) in the external domain (pval in the paper's
+  /// pseudo code).
+  double estimate() const;
+
+  /// Resets the iterate (TORA-CSMA stage changes: pval <- 0.5) while
+  /// keeping k, per Algorithm 2 where stage changes bypass the k increment.
+  void reset_value(double value);
+
+  /// Full restart: iterate AND step sequences.
+  void reset_all(double value);
+
+  /// Most recent gradient estimate, in the recursion domain (diagnostics).
+  double last_gradient() const { return last_gradient_; }
+
+  int k() const { return k_; }
+  double a_k() const;
+  double b_k() const;
+
+  /// Completed plus/minus iteration pairs.
+  long iterations() const { return iterations_; }
+
+  const KwOptions& options() const { return options_; }
+
+ private:
+  double to_internal(double external) const;
+  double to_external(double internal) const;
+  double clamp_internal_value(double v) const;
+  double clamp_external_probe(double v) const;
+
+  KwOptions options_;
+  double value_;  // iterate, in the recursion (internal) domain
+  int k_;
+  bool plus_phase_ = true;
+  double y_plus_ = 0.0;
+  double last_gradient_ = 0.0;
+  long iterations_ = 0;
+};
+
+}  // namespace wlan::core

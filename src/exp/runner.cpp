@@ -1,0 +1,177 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "topology/hidden.hpp"
+
+namespace wlan::exp {
+
+namespace {
+
+double mean_attempt_probability(const mac::Network& net) {
+  const int n = net.num_stations();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i)
+    sum += net.station(i).strategy().attempt_probability();
+  return sum / n;
+}
+
+/// Current control variable for the time series: the KW probe for adaptive
+/// schemes, the mean attempt probability otherwise.
+double control_value(mac::Network& net, const SchemeConfig& scheme) {
+  switch (scheme.kind) {
+    case SchemeKind::kWTopCsma:
+      return static_cast<core::WTopCsmaController*>(net.controller())
+          ->current_probe();
+    case SchemeKind::kToraCsma:
+      return static_cast<core::ToraCsmaController*>(net.controller())
+          ->current_probe();
+    default:
+      return mean_attempt_probability(net);
+  }
+}
+
+double stage_value(mac::Network& net, const SchemeConfig& scheme) {
+  if (scheme.kind == SchemeKind::kToraCsma)
+    return static_cast<core::ToraCsmaController*>(net.controller())->stage();
+  return 0.0;
+}
+
+int count_active(const mac::Network& net) {
+  int count = 0;
+  for (int i = 0; i < net.num_stations(); ++i)
+    if (net.station(i).active()) ++count;
+  return count;
+}
+
+/// Self-rescheduling sampler recording windowed throughput and the control
+/// variable. Lives until the simulation ends (events die with the network).
+void install_sampler(mac::Network& net, const SchemeConfig& scheme,
+                     sim::Duration period, RunResult& result) {
+  auto prev_bits = std::make_shared<std::int64_t>(0);
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&net, &scheme, &result, period, prev_bits, tick] {
+    const std::int64_t bits = net.counters().total_bits_delivered();
+    // Windowed Mb/s over the sampling period. Counter resets (warm-up
+    // discard) make the delta negative once; clamp that window to zero.
+    const double mbps =
+        std::max<double>(0.0, static_cast<double>(bits - *prev_bits)) /
+        period.s() / 1e6;
+    *prev_bits = bits;
+    const sim::Time now = net.simulator().now();
+    result.throughput_series.add(now, mbps);
+    result.control_series.add(now, control_value(net, scheme));
+    result.stage_series.add(now, stage_value(net, scheme));
+    result.active_nodes_series.add(now, count_active(net));
+    net.simulator().schedule_after(period, *tick);
+  };
+  net.simulator().schedule_after(period, *tick);
+}
+
+std::size_t hidden_pairs_of(const ScenarioConfig& scenario) {
+  const auto layout = make_layout(scenario);
+  // Hidden structure is a property of the SENSING graph among stations.
+  const auto prop = make_propagation(scenario);
+  return topology::count_hidden_pairs(layout, *prop);
+}
+
+void collect_measurement(mac::Network& net, RunResult& result) {
+  const sim::Duration window = net.measured_duration();
+  result.total_mbps = net.counters().total_mbps(window);
+  result.per_station_mbps = net.counters().per_node_mbps(window);
+  result.ap_avg_idle_slots = net.ap().idle_meter().average_idle_slots();
+  result.mean_attempt_probability = mean_attempt_probability(net);
+  result.successes = net.counters().total_successes();
+  result.failures = net.counters().total_failures();
+}
+
+}  // namespace
+
+RunResult run_scenario(const ScenarioConfig& scenario,
+                       const SchemeConfig& scheme, const RunOptions& options) {
+  RunResult result;
+  result.hidden_pairs = hidden_pairs_of(scenario);
+
+  auto net = build_network(scenario, scheme);
+  if (options.record_series) {
+    install_sampler(*net, scheme, options.sample_period, result);
+    net->ap().set_success_callback(
+        [&result](phy::NodeId src, sim::Time) {
+          result.success_sources.push_back(static_cast<int>(src) - 1);
+        });
+  }
+
+  net->start();
+  if (options.warmup > sim::Duration::zero()) {
+    net->run_for(options.warmup);
+    net->reset_counters();
+    net->ap().idle_meter().reset();
+  }
+  net->run_for(options.measure);
+
+  collect_measurement(*net, result);
+  return result;
+}
+
+AveragedResult run_averaged(const ScenarioConfig& scenario,
+                            const SchemeConfig& scheme, int seeds,
+                            const RunOptions& options) {
+  AveragedResult avg;
+  if (seeds < 1) return avg;
+  double sum = 0.0, idle_sum = 0.0, hidden_sum = 0.0;
+  double lo = 0.0, hi = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    ScenarioConfig sc = scenario;
+    sc.seed = scenario.seed + static_cast<std::uint64_t>(s);
+    const RunResult r = run_scenario(sc, scheme, options);
+    sum += r.total_mbps;
+    idle_sum += r.ap_avg_idle_slots;
+    hidden_sum += static_cast<double>(r.hidden_pairs);
+    if (s == 0) {
+      lo = hi = r.total_mbps;
+    } else {
+      lo = std::min(lo, r.total_mbps);
+      hi = std::max(hi, r.total_mbps);
+    }
+  }
+  avg.mean_mbps = sum / seeds;
+  avg.min_mbps = lo;
+  avg.max_mbps = hi;
+  avg.mean_idle_slots = idle_sum / seeds;
+  avg.mean_hidden_pairs = hidden_sum / seeds;
+  return avg;
+}
+
+RunResult run_dynamic(const ScenarioConfig& scenario,
+                      const SchemeConfig& scheme,
+                      const std::vector<PopulationStep>& schedule,
+                      sim::Duration total_duration,
+                      sim::Duration sample_period) {
+  RunResult result;
+  result.hidden_pairs = hidden_pairs_of(scenario);
+
+  auto net = build_network(scenario, scheme);
+  install_sampler(*net, scheme, sample_period, result);
+  net->start();
+
+  for (const auto& step : schedule) {
+    const int target =
+        std::clamp(step.active_stations, 0, net->num_stations());
+    mac::Network* raw = net.get();
+    net->simulator().schedule_at(
+        sim::Time::from_seconds(step.t_seconds), [raw, target] {
+          for (int i = 0; i < raw->num_stations(); ++i)
+            raw->station(i).set_active(i < target);
+        });
+  }
+  // Apply any step at t = 0 immediately via the event queue (scheduled
+  // above); later steps fire during the run.
+  net->run_for(total_duration);
+
+  collect_measurement(*net, result);
+  return result;
+}
+
+}  // namespace wlan::exp

@@ -1,0 +1,86 @@
+// Experiment runner: executes a (scenario, scheme) pair and collects every
+// quantity the paper's tables and figures report. Also supports dynamic
+// node-population scenarios (Figs. 8-11) and multi-seed averaging.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "stats/timeseries.hpp"
+
+namespace wlan::exp {
+
+struct RunOptions {
+  /// Discarded settling interval before measurement begins. Adaptive
+  /// schemes keep adapting during warm-up (that is the point of it).
+  sim::Duration warmup = sim::Duration::seconds(5.0);
+  /// Measured interval; throughput and idle slots are computed over it.
+  sim::Duration measure = sim::Duration::seconds(20.0);
+  /// Windowed throughput sampling period for time series.
+  sim::Duration sample_period = sim::Duration::seconds(1.0);
+  /// Record time series (throughput / control variable / stage).
+  bool record_series = false;
+};
+
+struct RunResult {
+  double total_mbps = 0.0;
+  std::vector<double> per_station_mbps;
+  /// Average idle slots per transmission observed at the AP during the
+  /// measured window (Table III).
+  double ap_avg_idle_slots = 0.0;
+  /// Unordered hidden station pairs in the topology.
+  std::size_t hidden_pairs = 0;
+  /// Mean per-slot attempt probability across stations at the end.
+  double mean_attempt_probability = 0.0;
+  /// Station-side counts over the measured window.
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+
+  /// Station index of each cleanly received data frame, in order (only
+  /// when RunOptions::record_series; drives short-term fairness metrics).
+  std::vector<int> success_sources;
+
+  // Time series over the WHOLE run (including warm-up), when requested.
+  stats::TimeSeries throughput_series{"Mb/s"};
+  stats::TimeSeries control_series{"control"};
+  stats::TimeSeries stage_series{"stage"};
+  stats::TimeSeries active_nodes_series{"N"};
+};
+
+/// Runs one scenario under one scheme.
+RunResult run_scenario(const ScenarioConfig& scenario,
+                       const SchemeConfig& scheme,
+                       const RunOptions& options = {});
+
+/// Averages total_mbps (and idle slots / fairness inputs) over `seeds`
+/// seeds: scenario.seed, scenario.seed+1, ...
+struct AveragedResult {
+  double mean_mbps = 0.0;
+  double min_mbps = 0.0;
+  double max_mbps = 0.0;
+  double mean_idle_slots = 0.0;
+  double mean_hidden_pairs = 0.0;
+};
+AveragedResult run_averaged(const ScenarioConfig& scenario,
+                            const SchemeConfig& scheme, int seeds,
+                            const RunOptions& options = {});
+
+/// One step of a dynamic node-population schedule: at `t_seconds`, exactly
+/// `active_stations` stations are active (stations are activated and
+/// deactivated in index order).
+struct PopulationStep {
+  double t_seconds;
+  int active_stations;
+};
+
+/// Dynamic scenario (Figs. 8-11): the network holds scenario.num_stations
+/// stations; the schedule toggles how many are active over time. Series are
+/// always recorded. Throughput/idle metrics cover the full duration.
+RunResult run_dynamic(const ScenarioConfig& scenario,
+                      const SchemeConfig& scheme,
+                      const std::vector<PopulationStep>& schedule,
+                      sim::Duration total_duration,
+                      sim::Duration sample_period = sim::Duration::seconds(1));
+
+}  // namespace wlan::exp

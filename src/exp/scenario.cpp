@@ -1,0 +1,176 @@
+#include "exp/scenario.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace wlan::exp {
+
+ScenarioConfig ScenarioConfig::connected(int n, std::uint64_t seed) {
+  ScenarioConfig s;
+  s.num_stations = n;
+  s.topology = TopologyKind::kCircleEdge;
+  s.radius = 8.0;
+  s.seed = seed;
+  return s;
+}
+
+ScenarioConfig ScenarioConfig::hidden(int n, double disc_radius,
+                                      std::uint64_t seed) {
+  ScenarioConfig s;
+  s.num_stations = n;
+  s.topology = TopologyKind::kUniformDisc;
+  s.radius = disc_radius;
+  s.seed = seed;
+  return s;
+}
+
+std::string SchemeConfig::name() const {
+  switch (kind) {
+    case SchemeKind::kStandard80211:
+      return "Standard 802.11";
+    case SchemeKind::kFixedPPersistent:
+      return "p-persistent(p=" + util::format_double(fixed_p, 4) + ")";
+    case SchemeKind::kWTopCsma:
+      return "wTOP-CSMA";
+    case SchemeKind::kToraCsma:
+      return "TORA-CSMA";
+    case SchemeKind::kIdleSense:
+      return "IdleSense";
+    case SchemeKind::kFixedRandomReset:
+      return "RandomReset(j=" + std::to_string(reset_stage) +
+             ",p0=" + util::format_double(reset_p0, 4) + ")";
+  }
+  return "unknown";
+}
+
+SchemeConfig SchemeConfig::standard() {
+  SchemeConfig c;
+  c.kind = SchemeKind::kStandard80211;
+  return c;
+}
+
+SchemeConfig SchemeConfig::fixed_p_persistent(double p) {
+  SchemeConfig c;
+  c.kind = SchemeKind::kFixedPPersistent;
+  c.fixed_p = p;
+  return c;
+}
+
+SchemeConfig SchemeConfig::wtop_csma() {
+  SchemeConfig c;
+  c.kind = SchemeKind::kWTopCsma;
+  return c;
+}
+
+SchemeConfig SchemeConfig::tora_csma() {
+  SchemeConfig c;
+  c.kind = SchemeKind::kToraCsma;
+  return c;
+}
+
+SchemeConfig SchemeConfig::idle_sense_scheme() {
+  SchemeConfig c;
+  c.kind = SchemeKind::kIdleSense;
+  return c;
+}
+
+SchemeConfig SchemeConfig::fixed_random_reset(int stage, double p0) {
+  SchemeConfig c;
+  c.kind = SchemeKind::kFixedRandomReset;
+  c.reset_stage = stage;
+  c.reset_p0 = p0;
+  return c;
+}
+
+double SchemeConfig::weight_of(int station_index) const {
+  if (weights.empty()) return 1.0;
+  const auto i = static_cast<std::size_t>(station_index);
+  return i < weights.size() ? weights[i] : weights.back();
+}
+
+ScenarioConfig ScenarioConfig::shadowed(int n, double shadow_probability,
+                                        std::uint64_t seed) {
+  ScenarioConfig s = connected(n, seed);
+  s.shadow_probability = shadow_probability;
+  return s;
+}
+
+topology::Layout make_layout(const ScenarioConfig& scenario) {
+  switch (scenario.topology) {
+    case TopologyKind::kCircleEdge:
+      return topology::circle_edge(scenario.num_stations, scenario.radius);
+    case TopologyKind::kUniformDisc:
+      return topology::uniform_disc(scenario.num_stations, scenario.radius,
+                                    scenario.seed);
+  }
+  throw std::logic_error("make_layout: unknown topology");
+}
+
+std::unique_ptr<phy::PropagationModel> make_propagation(
+    const ScenarioConfig& scenario) {
+  if (scenario.shadow_probability > 0.0) {
+    return std::make_unique<phy::ShadowedDisc>(
+        scenario.decode_radius, scenario.sense_radius,
+        scenario.shadow_probability, scenario.seed,
+        /*protected_position=*/phy::Vec2{0.0, 0.0});
+  }
+  return std::make_unique<phy::DiscPropagation>(scenario.decode_radius,
+                                                scenario.sense_radius);
+}
+
+std::unique_ptr<mac::AccessStrategy> make_strategy(const SchemeConfig& scheme,
+                                                   const mac::WifiParams& phy,
+                                                   int index) {
+  switch (scheme.kind) {
+    case SchemeKind::kStandard80211:
+      return std::make_unique<mac::StandardDcfStrategy>(phy);
+    case SchemeKind::kFixedPPersistent:
+      return std::make_unique<mac::PPersistentStrategy>(
+          mac::PPersistentStrategy::weighted_probability(
+              scheme.fixed_p, scheme.weight_of(index)),
+          scheme.weight_of(index), /*adaptive=*/false);
+    case SchemeKind::kWTopCsma:
+      // Algorithm 1 node side line 1: initial p_t = 0.1.
+      return std::make_unique<mac::PPersistentStrategy>(
+          0.1, scheme.weight_of(index), /*adaptive=*/true);
+    case SchemeKind::kToraCsma:
+      // Algorithm 2 node side line 1: p0 = 1, j = 0.
+      return std::make_unique<mac::RandomResetStrategy>(
+          phy, /*reset_stage=*/0, /*reset_probability=*/1.0,
+          /*adaptive=*/true);
+    case SchemeKind::kIdleSense:
+      return std::make_unique<core::IdleSenseStrategy>(scheme.idle_sense);
+    case SchemeKind::kFixedRandomReset:
+      return std::make_unique<mac::RandomResetStrategy>(
+          phy, scheme.reset_stage, scheme.reset_p0, /*adaptive=*/false);
+  }
+  throw std::logic_error("make_strategy: unknown scheme");
+}
+
+std::unique_ptr<mac::Network> build_network(const ScenarioConfig& scenario,
+                                            const SchemeConfig& scheme) {
+  const auto layout = make_layout(scenario);
+  auto net = std::make_unique<mac::Network>(
+      scenario.phy, make_propagation(scenario), layout.ap, scenario.seed);
+  for (int i = 0; i < scenario.num_stations; ++i) {
+    net->add_station(layout.stations[static_cast<std::size_t>(i)],
+                     make_strategy(scheme, scenario.phy, i));
+  }
+  switch (scheme.kind) {
+    case SchemeKind::kWTopCsma:
+      net->set_controller(
+          std::make_unique<core::WTopCsmaController>(scheme.wtop));
+      break;
+    case SchemeKind::kToraCsma:
+      net->set_controller(std::make_unique<core::ToraCsmaController>(
+          scenario.phy, scheme.tora));
+      break;
+    default:
+      break;
+  }
+  net->finalize();
+  return net;
+}
+
+}  // namespace wlan::exp

@@ -1,0 +1,30 @@
+// Interface between the access point and the paper's AP-side adaptation
+// algorithms (wTOP-CSMA / TORA-CSMA live in wlan::core and implement this).
+#pragma once
+
+#include "phy/frame.hpp"
+#include "sim/time.hpp"
+
+namespace wlan::mac {
+
+class ApController {
+ public:
+  virtual ~ApController() = default;
+
+  /// A data frame was decoded cleanly at the AP (Algorithm 1/2 line 3:
+  /// "if Packet is received successfully").
+  virtual void on_data_received(const phy::Frame& frame, sim::Time now) = 0;
+
+  /// Fill the parameters the AP piggybacks on the ACK it is about to send
+  /// (Algorithm 1 line 15 / Algorithm 2 line 21).
+  virtual void fill_ack(phy::ControlParams& params, sim::Time now) = 0;
+
+  /// Periodic timer from the AP (independent of packet arrivals). The
+  /// paper's pseudo code evaluates measurement-segment boundaries only when
+  /// a packet is received; a probe bad enough to silence the network
+  /// entirely would then never be re-evaluated. Real implementations need a
+  /// clock, which this hook provides. Default: ignore.
+  virtual void on_tick(sim::Time now) { (void)now; }
+};
+
+}  // namespace wlan::mac

@@ -1,0 +1,72 @@
+#include "mac/network.hpp"
+
+#include <stdexcept>
+
+namespace wlan::mac {
+
+Network::Network(const WifiParams& params,
+                 std::unique_ptr<phy::PropagationModel> propagation,
+                 phy::Vec2 ap_position, std::uint64_t seed)
+    : params_(params),
+      propagation_(std::move(propagation)),
+      seed_(seed),
+      medium_(sim_, *propagation_),
+      ap_(sim_, medium_, params_, util::Rng(seed, /*stream=*/0xA9)) {
+  if (propagation_ == nullptr)
+    throw std::invalid_argument("Network: null propagation model");
+  ap_node_ = medium_.add_node(ap_position, ap_);
+}
+
+int Network::add_station(const phy::Vec2& position,
+                         std::unique_ptr<AccessStrategy> strategy) {
+  if (finalized_) throw std::logic_error("Network: add_station after finalize");
+  const int index = static_cast<int>(stations_.size());
+  // Stream ids: station i uses stream i+1; stream 0 is reserved.
+  auto station = std::make_unique<Station>(
+      sim_, medium_, params_, std::move(strategy),
+      util::Rng(seed_, static_cast<std::uint64_t>(index) + 1));
+  const phy::NodeId id = medium_.add_node(position, *station);
+  stations_.push_back(std::move(station));
+  (void)id;
+  return index;
+}
+
+void Network::set_controller(std::unique_ptr<ApController> controller) {
+  controller_ = std::move(controller);
+  ap_.set_controller(controller_.get());
+}
+
+void Network::finalize() {
+  if (finalized_) throw std::logic_error("Network: finalize called twice");
+  finalized_ = true;
+  medium_.set_capture_ratio(params_.capture_ratio);
+  medium_.finalize();
+  counters_ = std::make_unique<stats::RunCounters>(stations_.size());
+  ap_.attach(ap_node_, ap_node_ + 1, counters_.get());
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    stations_[i]->attach(static_cast<phy::NodeId>(i) + 1, ap_node_,
+                         &counters_->node(i));
+  }
+}
+
+void Network::start() {
+  if (!finalized_) throw std::logic_error("Network: start before finalize");
+  if (started_) throw std::logic_error("Network: start called twice");
+  started_ = true;
+  measure_start_ = sim_.now();
+  for (auto& s : stations_) s->start();
+}
+
+void Network::run_for(sim::Duration d) { run_until(sim_.now() + d); }
+
+void Network::run_until(sim::Time t) {
+  if (!started_) throw std::logic_error("Network: run before start");
+  sim_.run_until(t);
+}
+
+void Network::reset_counters() {
+  counters_->reset();
+  measure_start_ = sim_.now();
+}
+
+}  // namespace wlan::mac

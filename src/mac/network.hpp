@@ -1,0 +1,102 @@
+// Network: assembles simulator + medium + AP + stations into a runnable
+// single-BSS WLAN, and owns all of it.
+//
+// Usage:
+//   Network net(params, std::make_unique<DiscPropagation>(16, 24), seed);
+//   net.add_station(pos, std::make_unique<PPersistentStrategy>(...));
+//   ...
+//   net.set_controller(std::make_unique<core::WTopCsmaController>(...));
+//   net.finalize();
+//   net.start();
+//   net.run_for(sim::Duration::seconds(20));
+//   double mbps = net.counters().total_mbps(net.measured_duration());
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mac/access_point.hpp"
+#include "mac/access_strategy.hpp"
+#include "mac/ap_controller.hpp"
+#include "mac/station.hpp"
+#include "mac/wifi_params.hpp"
+#include "phy/medium.hpp"
+#include "phy/propagation.hpp"
+#include "sim/simulator.hpp"
+#include "stats/counters.hpp"
+
+namespace wlan::mac {
+
+class Network {
+ public:
+  /// The AP sits at `ap_position`. `seed` drives every stochastic choice in
+  /// the network (per-station sub-streams are derived deterministically).
+  Network(const WifiParams& params,
+          std::unique_ptr<phy::PropagationModel> propagation,
+          phy::Vec2 ap_position, std::uint64_t seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Adds a station before finalize(). Returns its index (0-based, distinct
+  /// from its Medium NodeId, which is index + 1 since the AP is node 0).
+  int add_station(const phy::Vec2& position,
+                  std::unique_ptr<AccessStrategy> strategy);
+
+  /// Installs the AP-side adaptation algorithm (owned). Optional.
+  void set_controller(std::unique_ptr<ApController> controller);
+
+  /// Freezes the topology. Must be called once before start().
+  void finalize();
+
+  /// All stations begin contending at the current simulation time.
+  void start();
+
+  /// Advances the simulation. Measurement bookkeeping: measured_duration()
+  /// spans from the last reset_counters() (or start()) to now().
+  void run_for(sim::Duration d);
+  void run_until(sim::Time t);
+
+  /// Discards counters accumulated so far (e.g. a warm-up interval).
+  void reset_counters();
+
+  sim::Duration measured_duration() const {
+    return sim_.now() - measure_start_;
+  }
+
+  sim::Simulator& simulator() { return sim_; }
+  phy::Medium& medium() { return medium_; }
+  AccessPoint& ap() { return ap_; }
+  const AccessPoint& ap() const { return ap_; }
+  Station& station(int index) { return *stations_[static_cast<std::size_t>(index)]; }
+  const Station& station(int index) const {
+    return *stations_[static_cast<std::size_t>(index)];
+  }
+  int num_stations() const { return static_cast<int>(stations_.size()); }
+  stats::RunCounters& counters() { return *counters_; }
+  const stats::RunCounters& counters() const { return *counters_; }
+  const WifiParams& params() const { return params_; }
+  ApController* controller() { return controller_.get(); }
+
+  /// Current total throughput over the measured window, Mb/s.
+  double total_mbps() const {
+    return counters_->total_mbps(measured_duration());
+  }
+
+ private:
+  WifiParams params_;
+  std::unique_ptr<phy::PropagationModel> propagation_;
+  std::uint64_t seed_;
+  sim::Simulator sim_;
+  phy::Medium medium_;
+  AccessPoint ap_;
+  phy::NodeId ap_node_;
+  std::vector<std::unique_ptr<Station>> stations_;
+  std::unique_ptr<ApController> controller_;
+  std::unique_ptr<stats::RunCounters> counters_;
+  bool finalized_ = false;
+  bool started_ = false;
+  sim::Time measure_start_ = sim::Time::zero();
+};
+
+}  // namespace wlan::mac

@@ -1,0 +1,263 @@
+#include "mac/station.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wlan::mac {
+
+Station::Station(sim::Simulator& simulator, phy::Medium& medium,
+                 const WifiParams& params,
+                 std::unique_ptr<AccessStrategy> strategy, util::Rng rng)
+    : sim_(simulator),
+      medium_(medium),
+      params_(params),
+      strategy_(std::move(strategy)),
+      rng_(rng),
+      idle_meter_(params.slot, params.difs) {
+  assert(strategy_ != nullptr);
+  idle_meter_.set_sample_callback(
+      [this](double slots) { strategy_->on_transmission_observed(slots); });
+}
+
+void Station::attach(phy::NodeId self, phy::NodeId ap,
+                     stats::NodeCounters* counters) {
+  self_ = self;
+  ap_ = ap;
+  counters_ = counters;
+}
+
+void Station::start() {
+  assert(self_ != phy::kInvalidNode && "attach() must be called first");
+  active_ = true;
+  resume_contention();
+}
+
+void Station::set_active(bool active) {
+  if (active == active_) return;
+  active_ = active;
+  if (active) {
+    // Re-enter contention unless an exchange is still resolving.
+    if (state_ == State::kInactive) resume_contention();
+  } else {
+    // Quiesce immediately unless mid-exchange; finish_exchange() will park
+    // the station in kInactive once the outcome resolves.
+    if (state_ == State::kDifsWait || state_ == State::kBackoff ||
+        state_ == State::kIdleWait) {
+      sim_.cancel(difs_event_);
+      sim_.cancel(slot_event_);
+      sim_.cancel(nav_event_);
+      state_ = State::kInactive;
+    }
+  }
+}
+
+void Station::resume_contention() {
+  if (!active_) {
+    state_ = State::kInactive;
+    return;
+  }
+  const sim::Time now = sim_.now();
+  if (medium_.is_busy_for(self_)) {
+    state_ = State::kIdleWait;  // physical carrier sense
+    return;
+  }
+  if (now < nav_until_) {
+    // Virtual carrier sense: sleep until the NAV expires, then re-check.
+    state_ = State::kIdleWait;
+    sim_.cancel(nav_event_);
+    nav_event_ = sim_.schedule_at(nav_until_, [this] {
+      if (state_ == State::kIdleWait) resume_contention();
+    });
+    return;
+  }
+  begin_ifs_wait(now);
+}
+
+void Station::begin_ifs_wait(sim::Time) {
+  state_ = State::kDifsWait;
+  // EIFS after an undecodable busy period, DIFS otherwise (802.11 9.3.2.3.7).
+  const sim::Duration wait = eifs_pending_ ? params_.eifs() : params_.difs;
+  eifs_pending_ = false;
+  difs_event_ = sim_.schedule_after(wait, [this] {
+    state_ = State::kBackoff;
+    schedule_slot();
+  });
+}
+
+void Station::schedule_slot() {
+  slot_event_ = sim_.schedule_after(params_.slot, [this] { slot_boundary(); });
+}
+
+void Station::slot_boundary() {
+  assert(state_ == State::kBackoff);
+  if (strategy_->decide_transmit(rng_)) {
+    commit_transmission();
+  } else {
+    schedule_slot();
+  }
+}
+
+void Station::commit_transmission() {
+  // Commit now; radio starts via a same-time event so that every station
+  // deciding at this slot boundary decides on the pre-transmission channel.
+  state_ = State::kTransmitting;
+  sim_.schedule_after(sim::Duration::zero(), [this] { radio_transmit(); });
+}
+
+void Station::radio_transmit() {
+  assert(state_ == State::kTransmitting);
+  const sim::Time now = sim_.now();
+
+  if (params_.rts_cts_enabled()) {
+    // RTS first; its duration field reserves the whole four-way exchange.
+    idle_meter_.on_own_tx_start(now, params_.rts_airtime());
+    if (counters_ != nullptr) ++counters_->rts_attempts;
+
+    phy::Frame rts;
+    rts.kind = phy::FrameKind::kRts;
+    rts.src = self_;
+    rts.dst = ap_;
+    rts.seq = next_seq_++;
+    rts.nav = params_.sifs + params_.cts_airtime() + params_.sifs +
+              params_.data_airtime() + params_.sifs + params_.ack_airtime();
+    medium_.start_transmission(self_, rts, params_.rts_airtime());
+
+    state_ = State::kWaitCts;
+    cts_timeout_event_ = sim_.schedule_after(
+        params_.cts_timeout_after_rts_start(), [this] { cts_timeout(); });
+    return;
+  }
+
+  transmit_data_frame();
+}
+
+void Station::transmit_data_frame() {
+  const sim::Time now = sim_.now();
+  idle_meter_.on_own_tx_start(now, params_.data_airtime());
+  if (counters_ != nullptr) ++counters_->data_tx_attempts;
+
+  phy::Frame frame;
+  frame.kind = phy::FrameKind::kData;
+  frame.src = self_;
+  frame.dst = ap_;
+  frame.payload_bits = params_.payload_bits;
+  frame.seq = next_seq_++;
+  frame.nav = params_.sifs + params_.ack_airtime();
+  medium_.start_transmission(self_, frame, params_.data_airtime());
+
+  state_ = State::kWaitAck;
+  ack_timeout_event_ = sim_.schedule_after(
+      params_.ack_timeout_after_tx_start(), [this] { ack_timeout(); });
+}
+
+void Station::cts_timeout() {
+  assert(state_ == State::kWaitCts);
+  if (counters_ != nullptr) ++counters_->cts_timeouts;
+  strategy_->on_failure(rng_);
+  finish_exchange();
+}
+
+void Station::ack_timeout() {
+  assert(state_ == State::kWaitAck);
+  if (counters_ != nullptr) ++counters_->failures;
+  strategy_->on_failure(rng_);
+  finish_exchange();
+}
+
+void Station::finish_exchange() {
+  state_ = State::kInactive;  // neutral; resume_contention reassigns
+  resume_contention();
+}
+
+void Station::on_channel_busy(sim::Time now) {
+  idle_meter_.on_sensed_busy(now);
+  switch (state_) {
+    case State::kDifsWait:
+      sim_.cancel(difs_event_);
+      state_ = State::kIdleWait;
+      break;
+    case State::kBackoff:
+      sim_.cancel(slot_event_);
+      state_ = State::kIdleWait;
+      break;
+    case State::kIdleWait:
+      sim_.cancel(nav_event_);  // re-established at the next idle
+      break;
+    case State::kInactive:
+    case State::kTransmitting:
+    case State::kWaitCts:
+    case State::kWaitAck:
+      break;  // transmissions in flight ignore channel transitions
+  }
+}
+
+void Station::on_channel_idle(sim::Time now) {
+  idle_meter_.on_sensed_idle(now);
+  if (state_ == State::kIdleWait) resume_contention();
+}
+
+void Station::observe_nav(const phy::Frame& frame, sim::Time now) {
+  // 802.11 NAV: receivers other than the addressed destination honour the
+  // frame's duration field.
+  if (frame.dst == self_) return;
+  if (frame.nav <= sim::Duration::zero()) return;
+  nav_until_ = std::max(nav_until_, now + frame.nav);
+}
+
+void Station::on_frame_received(const phy::Frame& frame, bool clean,
+                                sim::Time /*now*/) {
+  if (!clean) {
+    // Bystander of a collision: the next contention wait uses EIFS.
+    // Stations mid-exchange keep their own timing (their CTS/ACK timeout
+    // already covers the EIFS span).
+    if (state_ != State::kTransmitting && state_ != State::kWaitCts &&
+        state_ != State::kWaitAck)
+      eifs_pending_ = true;
+    // Either way the following idle gap is EIFS-governed for measurement.
+    idle_meter_.set_next_gap_ifs(params_.eifs());
+    return;
+  }
+
+  const sim::Time now = sim_.now();
+  observe_nav(frame, now);
+
+  switch (frame.kind) {
+    case phy::FrameKind::kBeacon:
+      // Beacons are addressed to everyone; strategies treat their
+      // parameters as authoritative (the own_ack flag exists to filter out
+      // OTHER stations' ACKs, which does not apply to broadcasts).
+      strategy_->apply_params(frame.params, /*own_ack=*/true, rng_);
+      return;
+
+    case phy::FrameKind::kCts:
+      if (frame.dst == self_ && state_ == State::kWaitCts) {
+        sim_.cancel(cts_timeout_event_);
+        // SIFS response: the data frame follows unconditionally.
+        state_ = State::kTransmitting;
+        sim_.schedule_after(params_.sifs, [this] {
+          if (state_ == State::kTransmitting) transmit_data_frame();
+        });
+      }
+      return;
+
+    case phy::FrameKind::kAck: {
+      const bool own_ack = frame.dst == self_;
+      // Every cleanly overheard ACK carries parameters (wTOP-CSMA consumes
+      // all of them; TORA-CSMA's strategy filters on own_ack internally).
+      strategy_->apply_params(frame.params, own_ack, rng_);
+      if (own_ack && state_ == State::kWaitAck) {
+        sim_.cancel(ack_timeout_event_);
+        if (counters_ != nullptr) ++counters_->successes;
+        strategy_->on_success(rng_);
+        finish_exchange();
+      }
+      return;
+    }
+
+    case phy::FrameKind::kRts:
+    case phy::FrameKind::kData:
+      return;  // NAV already taken; uplink-only stations ignore the rest
+  }
+}
+
+}  // namespace wlan::mac

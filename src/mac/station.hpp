@@ -1,0 +1,128 @@
+// A saturated 802.11 station: the DCF timing state machine.
+//
+// The station always has a frame for the AP (saturated model, Section II).
+// Its lifecycle per frame:
+//
+//   (channel idle for DIFS) -> slotted contention: at each slot boundary ask
+//   the AccessStrategy whether to transmit -> transmit -> wait for ACK ->
+//   on ACK: success; on timeout: failure -> strategy notified -> repeat.
+//
+// When the payload exceeds WifiParams::rts_threshold_bits the exchange is
+// prefixed with RTS -> (SIFS) CTS -> (SIFS) DATA; a missing CTS counts as a
+// failure just like a missing ACK. Every station maintains a NAV (virtual
+// carrier sense) from the duration fields of overheard RTS/CTS/DATA frames,
+// which is what protects the data frame from hidden transmitters.
+//
+// Contention pauses whenever the sensed channel goes busy and resumes with a
+// fresh DIFS wait at the next idle transition — which yields standard DCF
+// freeze semantics for counter-based strategies (counters persist inside the
+// strategy) and is immaterial for memoryless ones.
+//
+// Same-instant semantics: a station that decides to transmit at slot
+// boundary t commits immediately (state -> Transmitting) but the radio
+// starts via an event scheduled at the same time t. All slot decisions at t
+// therefore happen before any of the resulting carrier-sense updates, so two
+// aligned stations picking the same slot collide — as they do in reality,
+// where CCA cannot see a transmission that starts in the same slot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "mac/access_strategy.hpp"
+#include "mac/wifi_params.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "stats/counters.hpp"
+#include "stats/idle_slots.hpp"
+#include "util/rng.hpp"
+
+namespace wlan::mac {
+
+class Station final : public phy::MediumClient {
+ public:
+  Station(sim::Simulator& simulator, phy::Medium& medium,
+          const WifiParams& params, std::unique_ptr<AccessStrategy> strategy,
+          util::Rng rng);
+
+  Station(const Station&) = delete;
+  Station& operator=(const Station&) = delete;
+
+  /// Wires up ids after Medium registration; must precede start().
+  void attach(phy::NodeId self, phy::NodeId ap,
+              stats::NodeCounters* counters);
+
+  /// Begins contending at the current simulation time.
+  void start();
+
+  /// Activation control for dynamic scenarios (Figs. 8-11). Deactivating
+  /// lets any in-flight exchange finish, then stops contending; activating
+  /// re-enters contention.
+  void set_active(bool active);
+  bool active() const { return active_; }
+
+  AccessStrategy& strategy() { return *strategy_; }
+  const AccessStrategy& strategy() const { return *strategy_; }
+
+  /// Idle-slot observations as seen by this station (drives IdleSense).
+  const stats::IdleSlotMeter& idle_meter() const { return idle_meter_; }
+  stats::IdleSlotMeter& idle_meter() { return idle_meter_; }
+
+  phy::NodeId id() const { return self_; }
+
+  // phy::MediumClient:
+  void on_channel_busy(sim::Time now) override;
+  void on_channel_idle(sim::Time now) override;
+  void on_frame_received(const phy::Frame& frame, bool clean,
+                         sim::Time now) override;
+
+ private:
+  enum class State {
+    kInactive,     // deactivated, not contending
+    kIdleWait,     // channel (or NAV) busy; waiting to go idle
+    kDifsWait,     // channel idle; DIFS timer running
+    kBackoff,      // channel idle; slot boundaries running
+    kTransmitting, // own frame (RTS or data) on the air (committed)
+    kWaitCts,      // RTS sent; CTS timer running
+    kWaitAck,      // data sent; ACK timer running
+  };
+
+  void resume_contention();
+  void begin_ifs_wait(sim::Time now);
+  void schedule_slot();
+  void slot_boundary();
+  void commit_transmission();
+  void radio_transmit();
+  void transmit_data_frame();
+  void cts_timeout();
+  void ack_timeout();
+  void finish_exchange();
+  void observe_nav(const phy::Frame& frame, sim::Time now);
+
+  sim::Simulator& sim_;
+  phy::Medium& medium_;
+  WifiParams params_;
+  std::unique_ptr<AccessStrategy> strategy_;
+  util::Rng rng_;
+
+  phy::NodeId self_ = phy::kInvalidNode;
+  phy::NodeId ap_ = phy::kInvalidNode;
+  stats::NodeCounters* counters_ = nullptr;
+
+  State state_ = State::kInactive;
+  bool active_ = false;
+  sim::EventId difs_event_;
+  sim::EventId slot_event_;
+  sim::EventId cts_timeout_event_;
+  sim::EventId ack_timeout_event_;
+  sim::EventId nav_event_;
+  sim::Time nav_until_ = sim::Time::zero();
+  std::uint64_t next_seq_ = 0;
+  /// Set when the last observed busy period ended in an undecodable frame;
+  /// the next idle wait then uses EIFS instead of DIFS (IEEE 802.11).
+  bool eifs_pending_ = false;
+  stats::IdleSlotMeter idle_meter_;
+};
+
+}  // namespace wlan::mac

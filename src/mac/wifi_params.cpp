@@ -1,0 +1,78 @@
+#include "mac/wifi_params.hpp"
+
+#include <algorithm>
+
+namespace wlan::mac {
+
+int WifiParams::num_backoff_stages() const {
+  int m = 0;
+  int cw = cw_min;
+  while (cw < cw_max) {
+    cw *= 2;
+    ++m;
+  }
+  return m;
+}
+
+int WifiParams::cw_at_stage(int stage) const {
+  std::int64_t cw = cw_min;
+  for (int i = 0; i < stage && cw < cw_max; ++i) cw *= 2;
+  return static_cast<int>(std::min<std::int64_t>(cw, cw_max));
+}
+
+sim::Duration WifiParams::data_airtime() const {
+  return preamble +
+         sim::Duration::for_bits(mac_header_bits + payload_bits, data_rate_bps);
+}
+
+sim::Duration WifiParams::ack_airtime() const {
+  return preamble + sim::Duration::for_bits(ack_bits, control_rate_bps);
+}
+
+sim::Duration WifiParams::beacon_airtime() const {
+  return preamble + sim::Duration::for_bits(beacon_bits, control_rate_bps);
+}
+
+sim::Duration WifiParams::rts_airtime() const {
+  return preamble + sim::Duration::for_bits(rts_bits, control_rate_bps);
+}
+
+sim::Duration WifiParams::cts_airtime() const {
+  return preamble + sim::Duration::for_bits(cts_bits, control_rate_bps);
+}
+
+sim::Duration WifiParams::cts_timeout_after_rts_start() const {
+  return rts_airtime() + sifs + cts_airtime() + slot * 2;
+}
+
+sim::Duration WifiParams::eifs() const {
+  return sifs + ack_airtime() + difs;
+}
+
+sim::Duration WifiParams::success_duration() const {
+  return data_airtime() + sifs + ack_airtime() + difs;
+}
+
+sim::Duration WifiParams::collision_duration() const {
+  return data_airtime() + (eifs_in_collision_model ? eifs() : difs);
+}
+
+double WifiParams::ts_star() const { return success_duration() / slot; }
+
+double WifiParams::tc_star() const { return collision_duration() / slot; }
+
+sim::Duration WifiParams::ack_timeout_after_tx_start() const {
+  return data_airtime() + sifs + ack_airtime() + slot * 2;
+}
+
+WifiParams WifiParams::ns3_like() { return WifiParams{}; }
+
+WifiParams WifiParams::paper_timing() {
+  WifiParams p;
+  p.preamble = sim::Duration::zero();
+  p.control_rate_bps = p.data_rate_bps;
+  p.eifs_in_collision_model = false;  // Section II: Tc = (LH+EP)/R + DIFS
+  return p;
+}
+
+}  // namespace wlan::mac

@@ -1,0 +1,117 @@
+// 802.11 MAC/PHY parameters (the paper's Table I: OFDM PHY, 20 MHz channel,
+// 54 Mb/s, 8000-bit payloads, CWmin 8, CWmax 1024) and the derived slot
+// durations Ts / Tc used throughout the analysis (Section II).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace wlan::mac {
+
+struct WifiParams {
+  double data_rate_bps = 54e6;     // R, Table I
+  double control_rate_bps = 6e6;   // ACK rate (ns-3 default basic rate)
+  std::int64_t payload_bits = 8000;    // EP, Table I
+  std::int64_t mac_header_bits = 272;  // LH: 34-byte MAC header
+  std::int64_t ack_bits = 112;         // LACK: 14-byte ACK frame
+  std::int64_t beacon_bits = 800;      // management beacon payload
+  std::int64_t rts_bits = 160;         // 20-byte RTS frame
+  std::int64_t cts_bits = 112;         // 14-byte CTS frame
+
+  sim::Duration slot = sim::Duration::microseconds(9);        // sigma
+  sim::Duration sifs = sim::Duration::microseconds(16);       // TSIFS
+  sim::Duration difs = sim::Duration::microseconds(34);       // TDIFS
+  sim::Duration preamble = sim::Duration::microseconds(20);   // PHY preamble
+
+  int cw_min = 8;     // Table I
+  int cw_max = 1024;  // Table I  (m = log2(cw_max/cw_min) = 7)
+
+  /// RTS threshold in payload bits: frames strictly longer use the
+  /// RTS/CTS exchange. The standard's default (2347 octets) disables it
+  /// for ordinary traffic — exactly the paper's Section I argument for
+  /// studying basic access; set below payload_bits to enable.
+  std::int64_t rts_threshold_bits = 2347 * 8;
+
+  /// Whether the AP broadcasts controller parameters in periodic beacons
+  /// (in addition to ACK piggyback). Disabling reverts to the paper's
+  /// literal ACK-only distribution — used by the ablation bench to show
+  /// why beacons are necessary for recovery.
+  bool beacons_enabled = true;
+
+  /// IID per-frame channel-error probability applied to data receptions at
+  /// the AP (the paper's footnote 1: channel errors can be incorporated
+  /// when they are i.i.d. over transmissions). 0 = error-free channel.
+  double frame_error_rate = 0.0;
+
+  /// Pairwise capture threshold handed to the Medium (linear power ratio;
+  /// 0 disables capture). The paper's model is capture-free; ns-3's PHY is
+  /// not, which this knob lets ablation benches explore.
+  double capture_ratio = 0.0;
+
+  /// Whether the analytical collision duration Tc includes the EIFS the
+  /// simulator's bystanders actually wait (true for the ns-3-like default;
+  /// false for the paper's simplified Tc = data + DIFS).
+  bool eifs_in_collision_model = true;
+
+  /// m: index of the last backoff stage; stages run 0..m.
+  int num_backoff_stages() const;
+
+  /// Contention window of backoff stage i: min(2^i * CWmin, CWmax).
+  int cw_at_stage(int stage) const;
+
+  /// Airtime of a data frame: preamble + (LH + EP) / R.
+  sim::Duration data_airtime() const;
+
+  /// Airtime of an ACK: preamble + LACK / control rate.
+  sim::Duration ack_airtime() const;
+
+  /// Airtime of a beacon: preamble + beacon bits / control rate.
+  sim::Duration beacon_airtime() const;
+
+  /// Airtimes of the RTS/CTS control frames (control rate, like ACKs).
+  sim::Duration rts_airtime() const;
+  sim::Duration cts_airtime() const;
+
+  /// True when data frames of the configured payload use RTS/CTS.
+  bool rts_cts_enabled() const { return payload_bits > rts_threshold_bits; }
+
+  /// How long a station waits after STARTING an RTS before declaring the
+  /// CTS missing.
+  sim::Duration cts_timeout_after_rts_start() const;
+
+  /// EIFS: the idle wait a station uses after a busy period whose frame it
+  /// could not decode (a collision), per IEEE 802.11: SIFS + ACK airtime +
+  /// DIFS. Bianchi-style models (and the paper's Tc) neglect EIFS; the
+  /// simulator implements it because ns-3 — the paper's evaluation
+  /// platform — does, and it materially affects collision cost.
+  sim::Duration eifs() const;
+
+  /// Ts — duration a successful transmission occupies the channel
+  /// (Section II): data + SIFS + ACK + DIFS.
+  sim::Duration success_duration() const;
+
+  /// Tc — duration a failed transmission occupies the channel:
+  /// data + EIFS when eifs_in_collision_model (matching the simulator),
+  /// else the paper's data + DIFS.
+  sim::Duration collision_duration() const;
+
+  /// Ts* and Tc* in units of slot time (used by the analysis, Theorem 2).
+  double ts_star() const;
+  double tc_star() const;
+
+  /// How long a station waits after STARTING a data transmission before
+  /// declaring ACK failure.
+  sim::Duration ack_timeout_after_tx_start() const;
+
+  /// ns-3-flavoured timing: 20 us preamble, ACKs at the 6 Mb/s basic rate.
+  /// Matches the absolute throughput scale of the paper's plots. This is
+  /// also the default-constructed value.
+  static WifiParams ns3_like();
+
+  /// The paper's simplified analytical timing (Section II): no preamble,
+  /// ACK at the data rate. Used when cross-checking closed-form results.
+  static WifiParams paper_timing();
+};
+
+}  // namespace wlan::mac

@@ -1,0 +1,49 @@
+// MAC frame as it crosses the medium, plus the control parameters the
+// paper's AP-side controllers piggyback on ACKs (Algorithm 1 line 15,
+// Algorithm 2 line 21).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace wlan::phy {
+
+/// Index of a radio registered with the Medium. The AP is a node like any
+/// other; by convention wlan::mac::Network registers it first (id 0).
+using NodeId = int;
+
+constexpr NodeId kInvalidNode = -1;
+
+/// Parameters broadcast by the access point inside ACK frames.
+/// wTOP-CSMA sends the master attempt probability `p`; TORA-CSMA sends the
+/// reset probability `p0` and backoff stage `j`.
+struct ControlParams {
+  bool has_attempt_probability = false;
+  double attempt_probability = 0.0;  // wTOP-CSMA master p
+
+  bool has_random_reset = false;
+  double reset_probability = 0.0;  // TORA-CSMA p0
+  int reset_stage = 0;             // TORA-CSMA j
+};
+
+enum class FrameKind : std::uint8_t { kData, kAck, kBeacon, kRts, kCts };
+
+struct Frame {
+  FrameKind kind = FrameKind::kData;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// MAC payload bits (EP for data frames, 0 for ACKs). Header/preamble
+  /// overhead is added by the airtime computation, not stored here.
+  std::int64_t payload_bits = 0;
+  /// Controller parameters (meaningful on ACKs only).
+  ControlParams params;
+  /// Monotone per-source sequence number (debugging/trace aid).
+  std::uint64_t seq = 0;
+  /// 802.11 duration field: how long the medium stays reserved AFTER this
+  /// frame ends. Receivers that are not the addressed destination set
+  /// their NAV (virtual carrier sense) accordingly. Zero = no reservation.
+  sim::Duration nav = sim::Duration::zero();
+};
+
+}  // namespace wlan::phy

@@ -1,0 +1,27 @@
+// 2-D geometry primitives for node placement.
+#pragma once
+
+#include <cmath>
+
+namespace wlan::phy {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  double norm() const { return std::sqrt(x * x + y * y); }
+};
+
+inline double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+/// Point at `radius` from the origin at angle `theta` radians.
+inline Vec2 polar(double radius, double theta) {
+  return {radius * std::cos(theta), radius * std::sin(theta)};
+}
+
+}  // namespace wlan::phy

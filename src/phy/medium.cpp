@@ -1,0 +1,155 @@
+#include "phy/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace wlan::phy {
+
+Medium::Medium(sim::Simulator& simulator, const PropagationModel& propagation)
+    : sim_(simulator), propagation_(propagation) {}
+
+NodeId Medium::add_node(const Vec2& position, MediumClient& client) {
+  if (finalized_) throw std::logic_error("Medium: add_node after finalize()");
+  nodes_.push_back(NodeRec{position, &client, 0, false, {}, {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Medium::finalize() {
+  if (finalized_) throw std::logic_error("Medium: finalize() called twice");
+  finalized_ = true;
+  const auto n = static_cast<NodeId>(nodes_.size());
+  for (NodeId s = 0; s < n; ++s) {
+    auto& src = nodes_[static_cast<std::size_t>(s)];
+    for (NodeId o = 0; o < n; ++o) {
+      if (s == o) continue;
+      const auto& dst = nodes_[static_cast<std::size_t>(o)];
+      if (propagation_.can_sense(src.position, dst.position))
+        src.audible_at.push_back(o);
+      if (propagation_.can_decode(src.position, dst.position))
+        src.decodable_at.push_back(o);
+    }
+  }
+}
+
+bool Medium::is_busy_for(NodeId n) const {
+  return nodes_[static_cast<std::size_t>(n)].sensed_count > 0;
+}
+
+bool Medium::is_transmitting(NodeId n) const {
+  return nodes_[static_cast<std::size_t>(n)].transmitting;
+}
+
+bool Medium::senses(NodeId source, NodeId observer) const {
+  const auto& a = nodes_[static_cast<std::size_t>(source)].audible_at;
+  return std::find(a.begin(), a.end(), observer) != a.end();
+}
+
+bool Medium::decodes(NodeId source, NodeId observer) const {
+  const auto& d = nodes_[static_cast<std::size_t>(source)].decodable_at;
+  return std::find(d.begin(), d.end(), observer) != d.end();
+}
+
+void Medium::mark_corrupt(ActiveTx& tx, NodeId receiver) {
+  if (receiver == tx.src) return;  // the source is never its own receiver
+  tx.corrupted_rx.push_back(receiver);
+}
+
+void Medium::interfere(ActiveTx& victim, NodeId interferer, NodeId receiver) {
+  if (receiver == victim.src) return;
+  if (capture_ratio_ > 0.0) {
+    const auto& rx = nodes_[static_cast<std::size_t>(receiver)].position;
+    const double wanted = propagation_.rx_power(
+        nodes_[static_cast<std::size_t>(victim.src)].position, rx);
+    const double noise = propagation_.rx_power(
+        nodes_[static_cast<std::size_t>(interferer)].position, rx);
+    if (wanted >= capture_ratio_ * noise) return;  // captured: copy survives
+  }
+  victim.corrupted_rx.push_back(receiver);
+}
+
+bool Medium::is_corrupt_for(const ActiveTx& tx, NodeId receiver) {
+  return std::find(tx.corrupted_rx.begin(), tx.corrupted_rx.end(), receiver) !=
+         tx.corrupted_rx.end();
+}
+
+void Medium::start_transmission(NodeId src, const Frame& frame,
+                                sim::Duration airtime) {
+  if (!finalized_) throw std::logic_error("Medium: not finalized");
+  NodeRec& source = nodes_[static_cast<std::size_t>(src)];
+  if (source.transmitting)
+    throw std::logic_error("Medium: node already transmitting");
+  assert(frame.src == src);
+  assert(airtime > sim::Duration::zero());
+
+  const sim::Time start = sim_.now();
+  const sim::Time end = start + airtime;
+  const std::uint64_t id = next_tx_id_++;
+  ++tx_started_;
+
+  ActiveTx tx{id, src, frame, start, end, {}};
+
+  // Mutual-corruption bookkeeping against transmissions already in flight.
+  // For each active transmission F and the new one G:
+  //  * G's source is a dead receiver for F (half-duplex), and every node
+  //    that hears G loses its copy of F;
+  //  * symmetrically, F's source and everyone who hears F lose their copy
+  //    of G.
+  for (ActiveTx& other : active_) {
+    // Transmissions are half-open intervals [start, end): one that ends
+    // exactly now does not overlap us, even if its end event has not fired
+    // yet (event ordering at equal timestamps is insertion order).
+    if (other.end <= start) continue;
+    // Half-duplex: each source is a dead receiver for the other frame,
+    // capture or not.
+    mark_corrupt(other, src);
+    mark_corrupt(tx, other.src);
+    // Mutual interference at every receiver in range (capture-aware).
+    for (NodeId r : source.audible_at) interfere(other, src, r);
+    const auto& other_src = nodes_[static_cast<std::size_t>(other.src)];
+    for (NodeId r : other_src.audible_at) interfere(tx, other.src, r);
+  }
+
+  source.transmitting = true;
+  active_.push_back(std::move(tx));
+
+  // Carrier-sense: every listener audible to us sees one more transmission.
+  for (NodeId o : source.audible_at) {
+    NodeRec& obs = nodes_[static_cast<std::size_t>(o)];
+    if (++obs.sensed_count == 1) obs.client->on_channel_busy(start);
+  }
+
+  sim_.schedule_at(end, [this, id] { end_transmission(id); });
+}
+
+void Medium::end_transmission(std::uint64_t tx_id) {
+  auto it = std::find_if(active_.begin(), active_.end(),
+                         [tx_id](const ActiveTx& t) { return t.id == tx_id; });
+  assert(it != active_.end() && "transmission ended twice");
+  ActiveTx tx = std::move(*it);
+  active_.erase(it);
+
+  NodeRec& source = nodes_[static_cast<std::size_t>(tx.src)];
+  source.transmitting = false;
+
+  const sim::Time now = sim_.now();
+
+  // Promiscuous delivery to every receiver that can decode the source —
+  // BEFORE the carrier-sense release, so that when the idle transition
+  // fires a receiver already knows whether the ending busy period carried
+  // an intelligible frame (the MAC's EIFS rule depends on this).
+  for (NodeId r : source.decodable_at) {
+    const bool clean = !is_corrupt_for(tx, r);
+    if (!clean) ++corrupt_deliveries_;
+    nodes_[static_cast<std::size_t>(r)].client->on_frame_received(tx.frame,
+                                                                  clean, now);
+  }
+
+  for (NodeId o : source.audible_at) {
+    NodeRec& obs = nodes_[static_cast<std::size_t>(o)];
+    assert(obs.sensed_count > 0);
+    if (--obs.sensed_count == 0) obs.client->on_channel_idle(now);
+  }
+}
+
+}  // namespace wlan::phy

@@ -1,0 +1,137 @@
+// The shared wireless medium: tracks in-flight transmissions, drives
+// per-node carrier sensing, and resolves receptions per receiver.
+//
+// Semantics (zero propagation delay, no capture, half-duplex radios):
+//  * A node senses BUSY while at least one OTHER node audible to it (per the
+//    propagation model) is transmitting. Its own transmissions never
+//    contribute to its own sensed state.
+//  * At the end of a transmission from s, every node that can decode s
+//    receives the frame (promiscuous delivery — stations overhear ACKs
+//    addressed to others, which wTOP-CSMA relies on). The reception at
+//    receiver r is CLEAN iff (a) r never transmitted during the frame and
+//    (b) no other transmission audible at r overlapped the frame in time.
+//    Corrupted receptions are delivered with clean=false so receivers can
+//    count collisions.
+//
+// This reproduces both the fully connected behaviour (slot-synchronized
+// collisions) and the hidden-node behaviour (partial-overlap collisions
+// invisible to the transmitters) of the paper's ns-3 setup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "phy/geometry.hpp"
+#include "phy/propagation.hpp"
+#include "sim/simulator.hpp"
+
+namespace wlan::phy {
+
+/// Implemented by every radio (stations and the AP).
+class MediumClient {
+ public:
+  virtual ~MediumClient() = default;
+
+  /// Sensed channel went idle -> busy (count 0 -> 1). Fires even while this
+  /// node is transmitting; state machines decide whether to care.
+  virtual void on_channel_busy(sim::Time now) = 0;
+
+  /// Sensed channel went busy -> idle (count 1 -> 0).
+  virtual void on_channel_idle(sim::Time now) = 0;
+
+  /// A transmission decodable by this node ended (regardless of the frame's
+  /// addressed destination). `clean` is false when this receiver's copy was
+  /// lost to a collision or its own half-duplex transmission.
+  virtual void on_frame_received(const Frame& frame, bool clean,
+                                 sim::Time now) = 0;
+};
+
+class Medium {
+ public:
+  /// The propagation model must outlive the Medium.
+  Medium(sim::Simulator& simulator, const PropagationModel& propagation);
+
+  /// Registers a radio at `position`. Returns its NodeId. All nodes must be
+  /// added before finalize().
+  NodeId add_node(const Vec2& position, MediumClient& client);
+
+  /// Precomputes the audibility/decodability adjacency. Must be called once
+  /// after the last add_node and before any transmission.
+  void finalize();
+
+  /// Enables the (pairwise) capture effect: a receiver keeps its copy of a
+  /// frame despite an overlapping interferer when the frame's received
+  /// power is at least `ratio` times the interferer's. `ratio` <= 0
+  /// disables capture (default: any overlap corrupts). Must be set before
+  /// transmissions begin. Half-duplex corruption (the receiver itself
+  /// transmitting) is never captured away.
+  void set_capture_ratio(double ratio) { capture_ratio_ = ratio; }
+  double capture_ratio() const { return capture_ratio_; }
+
+  /// Sensed-busy state for node `n` (excludes n's own transmissions).
+  bool is_busy_for(NodeId n) const;
+
+  /// True while node `n` is transmitting.
+  bool is_transmitting(NodeId n) const;
+
+  /// Begins a transmission of `frame` lasting `airtime`. The source must not
+  /// already be transmitting. Delivery and sensing callbacks are scheduled
+  /// automatically.
+  void start_transmission(NodeId src, const Frame& frame,
+                          sim::Duration airtime);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Vec2& position(NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)].position;
+  }
+
+  /// True if `observer` senses transmissions from `source`.
+  bool senses(NodeId source, NodeId observer) const;
+
+  /// True if `observer` can decode frames from `source`.
+  bool decodes(NodeId source, NodeId observer) const;
+
+  /// Lifetime counters (for stats and micro-benchmarks).
+  std::uint64_t transmissions_started() const { return tx_started_; }
+  std::uint64_t corrupt_deliveries() const { return corrupt_deliveries_; }
+
+ private:
+  struct ActiveTx {
+    std::uint64_t id;
+    NodeId src;
+    Frame frame;
+    sim::Time start;
+    sim::Time end;
+    /// Receivers whose copy is corrupted (duplicates allowed; usually empty).
+    std::vector<NodeId> corrupted_rx;
+  };
+
+  struct NodeRec {
+    Vec2 position;
+    MediumClient* client = nullptr;
+    int sensed_count = 0;  // active transmissions audible here (not own)
+    bool transmitting = false;
+    std::vector<NodeId> audible_at;    // nodes that sense this node's tx
+    std::vector<NodeId> decodable_at;  // nodes that can decode this node
+  };
+
+  static void mark_corrupt(ActiveTx& tx, NodeId receiver);
+  static bool is_corrupt_for(const ActiveTx& tx, NodeId receiver);
+  /// Marks `receiver`'s copy of `victim` corrupt unless capture saves it
+  /// from `interferer`.
+  void interfere(ActiveTx& victim, NodeId interferer, NodeId receiver);
+  void end_transmission(std::uint64_t tx_id);
+
+  sim::Simulator& sim_;
+  const PropagationModel& propagation_;
+  std::vector<NodeRec> nodes_;
+  std::vector<ActiveTx> active_;  // small: concurrent transmissions only
+  bool finalized_ = false;
+  double capture_ratio_ = 0.0;  // <= 0: no capture
+  std::uint64_t next_tx_id_ = 1;
+  std::uint64_t tx_started_ = 0;
+  std::uint64_t corrupt_deliveries_ = 0;
+};
+
+}  // namespace wlan::phy

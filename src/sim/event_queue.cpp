@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace wlan::sim {
+
+EventId EventQueue::schedule(Time t, Callback cb) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, seq, std::move(cb)});
+  pending_.insert(seq);
+  return EventId(seq);
+}
+
+void EventQueue::cancel(EventId id) {
+  if (!id.valid()) return;
+  // erase() returns 0 for ids that already fired or were already cancelled
+  // (stale handles) — those cancels are true no-ops.
+  pending_.erase(id.id_);
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && pending_.count(heap_.top().seq) == 0) heap_.pop();
+}
+
+Time EventQueue::next_time() {
+  skim();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skim();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; move via const_cast is safe because the
+  // entry is popped immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, std::move(top.callback)};
+  pending_.erase(top.seq);
+  heap_.pop();
+  return fired;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  pending_.clear();
+}
+
+}  // namespace wlan::sim

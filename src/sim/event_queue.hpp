@@ -1,0 +1,87 @@
+// Priority queue of timed callbacks with O(log n) insert/pop and O(1)
+// cancellation (lazy: cancelled entries are skipped when popped).
+//
+// Ordering is total and deterministic: ties on time are broken by insertion
+// sequence number, so two events scheduled for the same instant fire in the
+// order they were scheduled — important for slot-aligned MAC behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wlan::sim {
+
+/// Opaque handle identifying a scheduled event. Default-constructed handles
+/// are "null" and safe to cancel (no-op).
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr bool valid() const { return id_ != 0; }
+  constexpr bool operator==(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventId(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `t`. Returns a handle for cancel().
+  EventId schedule(Time t, Callback cb);
+
+  /// Cancels a pending event. Cancelling a null handle, an already-fired
+  /// event, or an already-cancelled event is a safe no-op.
+  void cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return pending_.empty(); }
+
+  /// Number of live events.
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  Time next_time();
+
+  /// Pops the earliest live event. Requires !empty().
+  struct Fired {
+    Time time;
+    Callback callback;
+  };
+  Fired pop();
+
+  /// Removes every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;  // insertion order; also the cancellation key
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the top of the heap.
+  void skim();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Ids of scheduled-but-not-yet-fired events. Exact membership makes
+  /// cancel() robust against stale handles: cancelling an event that has
+  /// already fired (a handle the owner never cleared) is a true no-op.
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace wlan::sim

@@ -1,0 +1,57 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace wlan::sim {
+
+EventId Simulator::schedule_at(Time t, EventQueue::Callback cb) {
+  assert(t >= now_ && "scheduling into the past");
+  return queue_.schedule(t, std::move(cb));
+}
+
+EventId Simulator::schedule_after(Duration d, EventQueue::Callback cb) {
+  assert(d >= Duration::zero());
+  return queue_.schedule(now_ + d, std::move(cb));
+}
+
+void Simulator::cancel(EventId id) { queue_.cancel(id); }
+
+std::uint64_t Simulator::run_until(Time limit) {
+  std::uint64_t ran = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > limit) break;
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    fired.callback();
+    ++ran;
+    ++events_executed_;
+  }
+  if (!stop_requested_ && now_ < limit) now_ = limit;
+  return ran;
+}
+
+std::uint64_t Simulator::run_all() {
+  std::uint64_t ran = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    fired.callback();
+    ++ran;
+    ++events_executed_;
+  }
+  return ran;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  fired.callback();
+  ++events_executed_;
+  return true;
+}
+
+}  // namespace wlan::sim

@@ -1,0 +1,59 @@
+// The simulation executive: owns the clock and the event queue.
+//
+// Single-threaded, run-to-completion semantics: a callback runs with the
+// clock set to its scheduled time and may schedule/cancel further events.
+// Scheduling in the past is a programming error and asserts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace wlan::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t >= now()`.
+  EventId schedule_at(Time t, EventQueue::Callback cb);
+
+  /// Schedules `cb` after a non-negative delay.
+  EventId schedule_after(Duration d, EventQueue::Callback cb);
+
+  /// Cancels a pending event (no-op on null/fired handles).
+  void cancel(EventId id);
+
+  /// Runs events until the queue empties or the clock would pass `limit`.
+  /// On return now() == min(limit, time of last event) and events at
+  /// exactly `limit` HAVE run. Returns the number of events executed.
+  std::uint64_t run_until(Time limit);
+
+  /// Runs every remaining event. Returns the number executed.
+  std::uint64_t run_all();
+
+  /// Executes the single next event, if any. Returns true if one ran.
+  bool step();
+
+  /// Requests run_until/run_all to return after the current callback.
+  void stop() { stop_requested_ = true; }
+
+  /// Total events executed since construction (exposed for benchmarks).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = Time::zero();
+  bool stop_requested_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace wlan::sim

@@ -1,0 +1,101 @@
+// Simulation time as a strong int64 nanosecond type.
+//
+// All MAC timing in this repo (9 us slots, 16 us SIFS, 34 us DIFS, frame
+// airtimes) is exact in integer nanoseconds, which keeps slot boundaries of
+// different stations bit-identical — the fully connected case then exhibits
+// true slot alignment (and hence slot-synchronized collisions) without any
+// epsilon comparisons.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace wlan::sim {
+
+/// A span of simulated time. Arithmetic is checked only by the type system;
+/// int64 nanoseconds cover ~292 years, far beyond any run here.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration nanoseconds(std::int64_t ns) { return Duration(ns); }
+  static constexpr Duration microseconds(std::int64_t us) {
+    return Duration(us * 1000);
+  }
+  static constexpr Duration milliseconds(std::int64_t ms) {
+    return Duration(ms * 1'000'000);
+  }
+  static constexpr Duration seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  /// Airtime of `bits` at `rate_bps`, rounded up to a whole nanosecond so a
+  /// frame never appears shorter than its true duration.
+  static constexpr Duration for_bits(std::int64_t bits, double rate_bps) {
+    const double ns = static_cast<double>(bits) * 1e9 / rate_bps;
+    auto whole = static_cast<std::int64_t>(ns);
+    return Duration(static_cast<double>(whole) < ns ? whole + 1 : whole);
+  }
+  static constexpr Duration zero() { return Duration(0); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double s() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulation clock (ns since t=0).
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time from_ns(std::int64_t ns) { return Time(ns); }
+  static constexpr Time from_seconds(double s) {
+    return Time(static_cast<std::int64_t>(s * 1e9 + 0.5));
+  }
+  /// Sentinel later than any reachable simulation time.
+  static constexpr Time max() { return Time(INT64_MAX); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double s() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Duration d) const { return Time(ns_ + d.ns()); }
+  constexpr Time operator-(Duration d) const { return Time(ns_ - d.ns()); }
+  constexpr Duration operator-(Time o) const {
+    return Duration::nanoseconds(ns_ - o.ns_);
+  }
+  Time& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.us() << "us";
+}
+inline std::ostream& operator<<(std::ostream& os, Time t) {
+  return os << t.s() << "s";
+}
+
+}  // namespace wlan::sim

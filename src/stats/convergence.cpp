@@ -1,0 +1,53 @@
+#include "stats/convergence.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wlan::stats {
+
+ConvergenceReport analyze_convergence(const TimeSeries& series,
+                                      double settled_fraction,
+                                      double threshold_fraction) {
+  if (settled_fraction <= 0.0 || settled_fraction > 1.0)
+    throw std::invalid_argument("analyze_convergence: bad settled_fraction");
+  if (threshold_fraction <= 0.0 || threshold_fraction > 1.0)
+    throw std::invalid_argument("analyze_convergence: bad threshold_fraction");
+
+  ConvergenceReport report;
+  const auto& samples = series.samples();
+  if (samples.empty()) {
+    report.never_converged = true;
+    return report;
+  }
+
+  const std::size_t tail_start = samples.size() -
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   samples.size() * settled_fraction));
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = tail_start; i < samples.size(); ++i) {
+    sum += samples[i].value;
+    sum_sq += samples[i].value * samples[i].value;
+    ++count;
+  }
+  report.settled_mean = sum / static_cast<double>(count);
+  const double var =
+      sum_sq / static_cast<double>(count) -
+      report.settled_mean * report.settled_mean;
+  report.settled_stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+
+  const double target = threshold_fraction * report.settled_mean;
+  report.never_converged = true;
+  for (const auto& s : samples) {
+    if (s.value >= target) {
+      report.time_to_threshold = s.t_seconds;
+      report.never_converged = false;
+      break;
+    }
+  }
+  if (report.never_converged)
+    report.time_to_threshold = samples.back().t_seconds;
+  return report;
+}
+
+}  // namespace wlan::stats

@@ -1,0 +1,35 @@
+// Convergence analytics over sampled time series: how fast an adaptive
+// scheme settles and how much it oscillates once settled. Used by the
+// UPDATE_PERIOD ablation (Section III.C's trade-off) and the dynamic
+// scenario tests (Figs. 8-11).
+#pragma once
+
+#include "stats/timeseries.hpp"
+
+namespace wlan::stats {
+
+struct ConvergenceReport {
+  /// Mean of the settled tail (the last `settled_fraction` of the series).
+  double settled_mean = 0.0;
+  /// Standard deviation within the settled tail (residual oscillation —
+  /// the paper's Fig. 2-vs-13 flatness argument shows up here).
+  double settled_stddev = 0.0;
+  /// First sample time at which the series reaches `threshold_fraction` of
+  /// settled_mean and stays within the tail band thereafter is NOT
+  /// required — this is the classic "time to X%" metric.
+  double time_to_threshold = 0.0;
+  /// True when the series never reached the threshold.
+  bool never_converged = false;
+};
+
+/// Analyzes a series (e.g. windowed Mb/s vs time).
+///
+/// `settled_fraction` — the trailing fraction of samples treated as the
+/// converged regime (default: last 25%).
+/// `threshold_fraction` — "converged" means reaching this fraction of the
+/// settled mean (default 90%).
+ConvergenceReport analyze_convergence(const TimeSeries& series,
+                                      double settled_fraction = 0.25,
+                                      double threshold_fraction = 0.9);
+
+}  // namespace wlan::stats

@@ -1,0 +1,42 @@
+#include "stats/counters.hpp"
+
+namespace wlan::stats {
+
+RunCounters::RunCounters(std::size_t num_stations) : nodes_(num_stations) {}
+
+std::int64_t RunCounters::total_bits_delivered() const {
+  std::int64_t total = 0;
+  for (const auto& n : nodes_) total += n.bits_delivered;
+  return total;
+}
+
+std::uint64_t RunCounters::total_successes() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n.successes;
+  return total;
+}
+
+std::uint64_t RunCounters::total_failures() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n.failures;
+  return total;
+}
+
+double RunCounters::total_mbps(sim::Duration elapsed) const {
+  if (elapsed <= sim::Duration::zero()) return 0.0;
+  return static_cast<double>(total_bits_delivered()) / elapsed.s() / 1e6;
+}
+
+std::vector<double> RunCounters::per_node_mbps(sim::Duration elapsed) const {
+  std::vector<double> out(nodes_.size(), 0.0);
+  if (elapsed <= sim::Duration::zero()) return out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    out[i] = static_cast<double>(nodes_[i].bits_delivered) / elapsed.s() / 1e6;
+  return out;
+}
+
+void RunCounters::reset() {
+  for (auto& n : nodes_) n = NodeCounters{};
+}
+
+}  // namespace wlan::stats

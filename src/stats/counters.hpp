@@ -1,0 +1,56 @@
+// Per-node and aggregate MAC counters collected during a run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wlan::stats {
+
+struct NodeCounters {
+  std::uint64_t data_tx_attempts = 0;  // data frames put on the air
+  std::uint64_t rts_attempts = 0;      // RTS frames put on the air
+  std::uint64_t successes = 0;         // ACKed data frames (station view)
+  std::uint64_t failures = 0;          // ACK timeouts (station view)
+  std::uint64_t cts_timeouts = 0;      // RTS exchanges with no CTS
+  std::int64_t bits_delivered = 0;     // payload bits decoded at the AP
+
+  /// Conditional collision probability estimate: failed exchanges over all
+  /// resolved exchanges (CTS timeouts count as failures in RTS/CTS mode).
+  double collision_ratio() const {
+    const auto fail = failures + cts_timeouts;
+    const auto total = successes + fail;
+    return total == 0 ? 0.0
+                      : static_cast<double>(fail) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Aggregates counters across nodes and converts to rates.
+class RunCounters {
+ public:
+  explicit RunCounters(std::size_t num_stations);
+
+  NodeCounters& node(std::size_t i) { return nodes_[i]; }
+  const NodeCounters& node(std::size_t i) const { return nodes_[i]; }
+  std::size_t num_stations() const { return nodes_.size(); }
+
+  std::int64_t total_bits_delivered() const;
+  std::uint64_t total_successes() const;
+  std::uint64_t total_failures() const;
+
+  /// System throughput in Mb/s over `elapsed`.
+  double total_mbps(sim::Duration elapsed) const;
+
+  /// Per-node throughput in Mb/s over `elapsed`.
+  std::vector<double> per_node_mbps(sim::Duration elapsed) const;
+
+  /// Zeroes everything (used when discarding a warm-up interval).
+  void reset();
+
+ private:
+  std::vector<NodeCounters> nodes_;
+};
+
+}  // namespace wlan::stats

@@ -1,0 +1,77 @@
+#include "stats/fairness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wlan::stats {
+
+double jain_index(const std::vector<double>& x) {
+  if (x.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(x.size()) * sum_sq);
+}
+
+std::vector<double> normalized_throughput(const std::vector<double>& x,
+                                          const std::vector<double>& weights) {
+  if (x.size() != weights.size())
+    throw std::invalid_argument("normalized_throughput: size mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (weights[i] <= 0.0)
+      throw std::invalid_argument("normalized_throughput: weight <= 0");
+    out[i] = x[i] / weights[i];
+  }
+  return out;
+}
+
+double weighted_jain_index(const std::vector<double>& x,
+                           const std::vector<double>& weights) {
+  return jain_index(normalized_throughput(x, weights));
+}
+
+double max_normalized_deviation(const std::vector<double>& x,
+                                const std::vector<double>& weights) {
+  const auto norm = normalized_throughput(x, weights);
+  if (norm.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : norm) mean += v;
+  mean /= static_cast<double>(norm.size());
+  if (mean == 0.0) return 0.0;
+  double worst = 0.0;
+  for (double v : norm) worst = std::max(worst, std::abs(v - mean) / mean);
+  return worst;
+}
+
+double sliding_window_jain(const std::vector<int>& sources, int num_stations,
+                           std::size_t window, std::size_t stride) {
+  if (num_stations <= 0)
+    throw std::invalid_argument("sliding_window_jain: num_stations <= 0");
+  if (window == 0 || stride == 0)
+    throw std::invalid_argument("sliding_window_jain: zero window/stride");
+  if (sources.size() < window) return 1.0;
+
+  std::vector<double> counts(static_cast<std::size_t>(num_stations), 0.0);
+  double jain_sum = 0.0;
+  std::size_t windows = 0;
+  for (std::size_t start = 0; start + window <= sources.size();
+       start += stride) {
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (std::size_t k = start; k < start + window; ++k) {
+      const int s = sources[k];
+      if (s < 0 || s >= num_stations)
+        throw std::invalid_argument("sliding_window_jain: bad station index");
+      counts[static_cast<std::size_t>(s)] += 1.0;
+    }
+    jain_sum += jain_index(counts);
+    ++windows;
+  }
+  return jain_sum / static_cast<double>(windows);
+}
+
+}  // namespace wlan::stats

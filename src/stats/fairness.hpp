@@ -1,0 +1,35 @@
+// Fairness metrics for throughput allocations.
+#pragma once
+
+#include <vector>
+
+namespace wlan::stats {
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair.
+/// Returns 1.0 for empty or all-zero input.
+double jain_index(const std::vector<double>& x);
+
+/// Weighted Jain index computed on x_i / w_i (Definition 2: throughput
+/// proportional to weight). Weights must be positive and sized like x.
+double weighted_jain_index(const std::vector<double>& x,
+                           const std::vector<double>& weights);
+
+/// Normalized throughputs x_i / w_i (Table II's third column).
+std::vector<double> normalized_throughput(const std::vector<double>& x,
+                                          const std::vector<double>& weights);
+
+/// max |norm_i - mean(norm)| / mean(norm); 0 = perfectly weighted-fair.
+double max_normalized_deviation(const std::vector<double>& x,
+                                const std::vector<double>& weights);
+
+/// Short-term fairness (the sliding-window Jain index of IdleSense's
+/// evaluation, referenced in the paper's Section VII): `sources[k]` is the
+/// station index of the k-th successful transmission; for every window of
+/// `window` consecutive successes, compute the Jain index of per-station
+/// success counts, and return the mean over all (stride-advanced) windows.
+/// 1.0 = every station takes perfectly alternating turns at that horizon.
+/// Returns 1.0 when there are fewer than `window` successes.
+double sliding_window_jain(const std::vector<int>& sources, int num_stations,
+                           std::size_t window, std::size_t stride = 1);
+
+}  // namespace wlan::stats

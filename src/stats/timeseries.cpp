@@ -1,0 +1,26 @@
+#include "stats/timeseries.hpp"
+
+namespace wlan::stats {
+
+double TimeSeries::mean_in_window(double from, double to) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& s : samples_) {
+    if (s.t_seconds >= from && s.t_seconds < to) {
+      sum += s.value;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double TimeSeries::value_at(double t_seconds) const {
+  double value = 0.0;
+  for (const auto& s : samples_) {
+    if (s.t_seconds > t_seconds) break;
+    value = s.value;
+  }
+  return value;
+}
+
+}  // namespace wlan::stats

@@ -1,0 +1,44 @@
+// Sampled time series (Figs. 8-11: throughput / control variable vs time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wlan::stats {
+
+struct Sample {
+  double t_seconds;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(sim::Time t, double value) {
+    samples_.push_back(Sample{t.s(), value});
+  }
+  void add(double t_seconds, double value) {
+    samples_.push_back(Sample{t_seconds, value});
+  }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  const std::string& name() const { return name_; }
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+
+  /// Mean of values with t_seconds in [from, to).
+  double mean_in_window(double from, double to) const;
+
+  /// Last value at or before `t_seconds`; 0 when none.
+  double value_at(double t_seconds) const;
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace wlan::stats

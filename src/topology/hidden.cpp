@@ -1,0 +1,44 @@
+#include "topology/hidden.hpp"
+
+namespace wlan::topology {
+
+HiddenReport analyze_hidden(const Layout& layout,
+                            const phy::PropagationModel& propagation) {
+  const int n = static_cast<int>(layout.stations.size());
+  HiddenReport report;
+  report.hidden_degree.assign(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const bool ij = propagation.can_sense(layout.stations[i],
+                                            layout.stations[j]);
+      const bool ji = propagation.can_sense(layout.stations[j],
+                                            layout.stations[i]);
+      if (!ij || !ji) {
+        report.hidden_pairs.emplace_back(i, j);
+        ++report.hidden_degree[static_cast<std::size_t>(i)];
+        ++report.hidden_degree[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  report.fully_connected = report.hidden_pairs.empty();
+  return report;
+}
+
+std::size_t count_hidden_pairs(const Layout& layout,
+                               const phy::PropagationModel& propagation) {
+  return analyze_hidden(layout, propagation).hidden_pairs.size();
+}
+
+std::vector<std::vector<bool>> sensing_matrix(
+    const Layout& layout, const phy::PropagationModel& propagation) {
+  const std::size_t n = layout.stations.size();
+  std::vector<std::vector<bool>> m(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j)
+        m[i][j] =
+            propagation.can_sense(layout.stations[i], layout.stations[j]);
+  return m;
+}
+
+}  // namespace wlan::topology

@@ -1,0 +1,41 @@
+// Hidden-node structure analysis of a layout under a propagation model.
+//
+// Node i is hidden from node j when j cannot sense i's transmissions
+// (Section I). These helpers quantify that structure so benches can report
+// how "hidden" a random topology actually is, and tests can assert the
+// paper's construction (radius 8 edge -> none; radius 16/20 disc -> some).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "phy/propagation.hpp"
+#include "topology/placement.hpp"
+
+namespace wlan::topology {
+
+struct HiddenReport {
+  /// Unordered station pairs {i, j} (indices into Layout::stations) such
+  /// that at least one cannot sense the other.
+  std::vector<std::pair<int, int>> hidden_pairs;
+  /// Per-station count of peers it cannot sense.
+  std::vector<int> hidden_degree;
+  /// True when every station can sense every other station.
+  bool fully_connected = false;
+};
+
+/// Analyzes sensing relations among stations (the AP is excluded: the paper
+/// assumes every station hears the AP and vice versa).
+HiddenReport analyze_hidden(const Layout& layout,
+                            const phy::PropagationModel& propagation);
+
+/// Number of unordered hidden pairs (shorthand used by benches).
+std::size_t count_hidden_pairs(const Layout& layout,
+                               const phy::PropagationModel& propagation);
+
+/// Symmetric boolean matrix m[i][j] = station j senses station i.
+std::vector<std::vector<bool>> sensing_matrix(
+    const Layout& layout, const phy::PropagationModel& propagation);
+
+}  // namespace wlan::topology

@@ -1,0 +1,38 @@
+#include "topology/placement.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wlan::topology {
+
+Layout circle_edge(int n, double radius) {
+  if (n < 0) throw std::invalid_argument("circle_edge: negative n");
+  Layout layout;
+  layout.ap = {0.0, 0.0};
+  layout.stations.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double theta = 2.0 * M_PI * static_cast<double>(i) / std::max(n, 1);
+    layout.stations.push_back(phy::polar(radius, theta));
+  }
+  return layout;
+}
+
+Layout uniform_disc(int n, double radius, util::Rng& rng) {
+  if (n < 0) throw std::invalid_argument("uniform_disc: negative n");
+  Layout layout;
+  layout.ap = {0.0, 0.0};
+  layout.stations.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double r = radius * std::sqrt(rng.uniform());
+    const double theta = rng.uniform(0.0, 2.0 * M_PI);
+    layout.stations.push_back(phy::polar(r, theta));
+  }
+  return layout;
+}
+
+Layout uniform_disc(int n, double radius, std::uint64_t seed) {
+  util::Rng rng(seed, /*stream=*/0xD15C);
+  return uniform_disc(n, radius, rng);
+}
+
+}  // namespace wlan::topology

@@ -1,0 +1,35 @@
+// Node placement generators reproducing the paper's two network
+// configurations (Section I / Section VI.C):
+//  * fully connected — nodes uniformly on the edge of a disc of radius 8
+//    centred at the AP (max pairwise distance 16 < sensing range 24);
+//  * hidden-node     — nodes uniformly at random inside a disc of radius 16
+//    or 20 (max pairwise distance up to 40 > 24, so hidden pairs occur with
+//    non-zero probability).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace wlan::topology {
+
+/// AP position plus one position per station.
+struct Layout {
+  phy::Vec2 ap;
+  std::vector<phy::Vec2> stations;
+};
+
+/// `n` stations evenly spaced on the circle of `radius` around the AP at the
+/// origin (deterministic; the paper's "uniformly on the edge of the disc").
+Layout circle_edge(int n, double radius);
+
+/// `n` stations uniformly at random inside the disc of `radius` around the
+/// AP at the origin (area-uniform, i.e. r = R*sqrt(U)).
+Layout uniform_disc(int n, double radius, util::Rng& rng);
+
+/// Convenience overload seeding its own generator.
+Layout uniform_disc(int n, double radius, std::uint64_t seed);
+
+}  // namespace wlan::topology

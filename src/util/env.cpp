@@ -1,0 +1,43 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace wlan::util {
+
+double env_double(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  double v = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return fallback;
+  return v;
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+bool env_bool(const std::string& name, bool fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  std::string v = raw;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on")
+    return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+double bench_time_scale() { return env_double("WLAN_BENCH_SECONDS", 1.0); }
+
+int bench_seeds(int fallback) {
+  return static_cast<int>(env_int("WLAN_BENCH_SEEDS", fallback));
+}
+
+bool bench_fast() { return env_bool("WLAN_BENCH_FAST", false); }
+
+}  // namespace wlan::util

@@ -1,0 +1,34 @@
+// Environment-variable knobs that scale bench effort without recompiling.
+//
+// WLAN_BENCH_SECONDS — simulated seconds per data point (default varies per
+//                      bench; this multiplies the default).
+// WLAN_BENCH_SEEDS   — number of independent seeds averaged per point.
+// WLAN_BENCH_FAST    — if set truthy, benches shrink sweeps for smoke runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wlan::util {
+
+/// Reads a double env var; returns `fallback` when unset or unparsable.
+double env_double(const std::string& name, double fallback);
+
+/// Reads an integer env var; returns `fallback` when unset or unparsable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Reads a boolean env var ("1", "true", "yes", "on" are true).
+bool env_bool(const std::string& name, bool fallback);
+
+/// Multiplier applied to bench simulated durations (WLAN_BENCH_SECONDS
+/// interpreted as a scale factor; default 1.0).
+double bench_time_scale();
+
+/// Number of seeds benches average over (WLAN_BENCH_SEEDS, default given by
+/// the bench).
+int bench_seeds(int fallback);
+
+/// True when WLAN_BENCH_FAST requests a reduced smoke-test sweep.
+bool bench_fast();
+
+}  // namespace wlan::util

@@ -1,0 +1,42 @@
+// Aligned console table printer. Benches use this to emit the same rows the
+// paper's tables/figures report, in a form readable in a terminal log.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wlan::util {
+
+/// Collects rows of string cells and renders them column-aligned.
+///
+///   Table t({"Nodes", "Std 802.11", "wTOP-CSMA"});
+///   t.add_row({"10", "14.2", "22.1"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells, long rows extend
+  /// the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, the rest are numbers.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 4);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used in tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wlan::util

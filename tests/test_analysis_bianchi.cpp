@@ -1,0 +1,281 @@
+// Tests of the exponential-backoff fixed-point model (Eqs. 9-11) and the
+// paper's appendix lemmas (4, 5, 6, 7) as executable properties.
+#include "analysis/bianchi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ppersistent.hpp"
+#include "analysis/quasiconcave.hpp"
+#include "analysis/randomreset.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace wlan;
+using namespace wlan::analysis;
+
+constexpr int kCwMin = 8;
+constexpr int kM = 7;
+
+std::vector<double> point_mass(int stage, int m = kM) {
+  std::vector<double> q(static_cast<std::size_t>(m) + 1, 0.0);
+  q[static_cast<std::size_t>(stage)] = 1.0;
+  return q;
+}
+
+TEST(Alpha, BaseCaseAndRecursion) {
+  const auto a0 = alpha_values(0.0, kM);
+  // c = 0: alpha_j = 2^j.
+  for (int j = 0; j <= kM; ++j)
+    EXPECT_DOUBLE_EQ(a0[static_cast<std::size_t>(j)], std::ldexp(1.0, j));
+  const auto a1 = alpha_values(1.0, kM);
+  // c = 1: alpha_j = 2^m for every j.
+  for (int j = 0; j <= kM; ++j)
+    EXPECT_DOUBLE_EQ(a1[static_cast<std::size_t>(j)], 128.0);
+}
+
+// Lemma 4: alpha_j(c) <= alpha_{j+1}(c), equality only at c = 1.
+class AlphaMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaMonotone, Lemma4Ordering) {
+  const double c = GetParam();
+  const auto a = alpha_values(c, kM);
+  for (int j = 0; j < kM; ++j) {
+    if (c < 1.0) {
+      EXPECT_LT(a[static_cast<std::size_t>(j)],
+                a[static_cast<std::size_t>(j) + 1])
+          << "c=" << c << " j=" << j;
+    } else {
+      EXPECT_DOUBLE_EQ(a[static_cast<std::size_t>(j)],
+                       a[static_cast<std::size_t>(j) + 1]);
+    }
+  }
+  // alpha_j >= 2^j (step in the appendix proof).
+  for (int j = 0; j <= kM; ++j)
+    EXPECT_GE(a[static_cast<std::size_t>(j)], std::ldexp(1.0, j) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(CollisionGrid, AlphaMonotone,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.99, 1.0));
+
+TEST(TauGivenC, AlwaysResetToZeroAtZeroCollision) {
+  // q = delta_0, c = 0: tau = kappa_0 / alpha_0(0) = (2/CWmin) / 1.
+  EXPECT_DOUBLE_EQ(tau_given_c(point_mass(0), 0.0, kCwMin), 2.0 / kCwMin);
+}
+
+TEST(TauGivenC, DecreasingInCollisionProbability) {
+  const auto q = random_reset_distribution(0, 0.5, kM);
+  double prev = 1.0;
+  for (double c : {0.0, 0.2, 0.4, 0.6, 0.8, 0.99}) {
+    const double tau = tau_given_c(q, c, kCwMin);
+    EXPECT_LT(tau, prev) << "c=" << c;
+    prev = tau;
+  }
+}
+
+TEST(TauGivenC, DeeperResetStageLowersTau) {
+  for (double c : {0.0, 0.3, 0.7}) {
+    double prev = 1.0;
+    for (int j = 0; j <= kM; ++j) {
+      const double tau = tau_given_c(point_mass(j), c, kCwMin);
+      if (c < 1.0) {
+        EXPECT_LT(tau, prev) << "j=" << j << " c=" << c;
+      }
+      prev = tau;
+    }
+  }
+}
+
+TEST(TauGivenC, Validation) {
+  EXPECT_THROW(tau_given_c({}, 0.0, kCwMin), std::invalid_argument);
+  EXPECT_THROW(tau_given_c(point_mass(0), -0.1, kCwMin),
+               std::invalid_argument);
+  std::vector<double> not_normalized{0.5, 0.2};
+  EXPECT_THROW(tau_given_c(not_normalized, 0.0, kCwMin),
+               std::invalid_argument);
+  std::vector<double> negative{1.5, -0.5};
+  EXPECT_THROW(tau_given_c(negative, 0.0, kCwMin), std::invalid_argument);
+}
+
+TEST(FixedPoint, SatisfiesBothEquations) {
+  for (int n : {2, 10, 50}) {
+    const auto q = random_reset_distribution(0, 1.0, kM);
+    const auto fp = solve_fixed_point(q, n, kCwMin);
+    EXPECT_NEAR(fp.tau, tau_given_c(q, fp.c, kCwMin), 1e-9);
+    EXPECT_NEAR(fp.c, conditional_collision_probability(fp.tau, n), 1e-9);
+  }
+}
+
+TEST(FixedPoint, SingleNodeNeverCollides) {
+  const auto fp = solve_fixed_point(point_mass(0), 1, kCwMin);
+  EXPECT_NEAR(fp.c, 0.0, 1e-9);
+  EXPECT_NEAR(fp.tau, 2.0 / kCwMin, 1e-9);
+}
+
+TEST(FixedPoint, CollisionGrowsWithN) {
+  const auto q = random_reset_distribution(0, 1.0, kM);
+  double prev_c = -1.0, prev_tau = 2.0;
+  for (int n : {2, 5, 10, 20, 40, 80}) {
+    const auto fp = solve_fixed_point(q, n, kCwMin);
+    EXPECT_GT(fp.c, prev_c);
+    EXPECT_LT(fp.tau, prev_tau);  // more nodes -> more backoff
+    prev_c = fp.c;
+    prev_tau = fp.tau;
+  }
+}
+
+TEST(SlottedThroughput, MatchesPPersistentModelAtEqualTau) {
+  // The slotted formula specializes eq. 3 with p_i = tau for all i.
+  const mac::WifiParams params;
+  for (int n : {5, 20}) {
+    for (double tau : {0.005, 0.02, 0.1}) {
+      std::vector<double> w(static_cast<std::size_t>(n), 1.0);
+      // eq. 3 with equal weights and master p = tau gives p_i = tau.
+      const double a = slotted_throughput(tau, n, params);
+      const double b = ppersistent_system_throughput(tau, w, params);
+      EXPECT_NEAR(a / b, 1.0, 1e-9) << "n=" << n << " tau=" << tau;
+    }
+  }
+}
+
+TEST(SlottedThroughput, Validation) {
+  const mac::WifiParams params;
+  EXPECT_THROW(slotted_throughput(0.5, 0, params), std::invalid_argument);
+  EXPECT_THROW(slotted_throughput(-0.1, 5, params), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(slotted_throughput(0.0, 5, params), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// RandomReset specializations.
+
+TEST(RandomResetModel, DistributionMatchesDefinition4) {
+  const auto q = random_reset_distribution(2, 0.4, kM);
+  ASSERT_EQ(q.size(), static_cast<std::size_t>(kM) + 1);
+  EXPECT_DOUBLE_EQ(q[2], 0.4);
+  for (int i = 3; i <= kM; ++i)
+    EXPECT_NEAR(q[static_cast<std::size_t>(i)], 0.6 / 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(q[0], 0.0);
+  EXPECT_DOUBLE_EQ(q[1], 0.0);
+}
+
+TEST(RandomResetModel, DistributionValidation) {
+  EXPECT_THROW(random_reset_distribution(7, 0.5, kM), std::invalid_argument);
+  EXPECT_THROW(random_reset_distribution(-1, 0.5, kM), std::invalid_argument);
+  EXPECT_THROW(random_reset_distribution(0, 1.5, kM), std::invalid_argument);
+}
+
+// Lemma 5: tau(j; p0) is monotone increasing in p0 for fixed j.
+class TauMonotoneInP0 : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(TauMonotoneInP0, Lemma5) {
+  const auto [j, n] = GetParam();
+  double prev = 0.0;
+  for (double p0 = 0.0; p0 <= 1.0001; p0 += 0.1) {
+    const double tau =
+        random_reset_fixed_point(j, std::min(p0, 1.0), n, kCwMin, kM).tau;
+    EXPECT_GT(tau, prev) << "j=" << j << " p0=" << p0;
+    prev = tau;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StagesAndN, TauMonotoneInP0,
+                         ::testing::Combine(::testing::Values(0, 2, 5, 6),
+                                            ::testing::Values(5, 20, 60)),
+                         [](const auto& info) {
+                           return "j" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "_n" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(RandomResetModel, Lemma7StageIdentity) {
+  // tau_c(j+1; 1/(m-j)) == tau_c(j; 0): resetting to j+1 w.p. 1/(m-j) and
+  // uniformly above equals never resetting to j.
+  for (double c : {0.0, 0.3, 0.8}) {
+    for (int j = 0; j < kM - 1; ++j) {
+      const double lhs = random_reset_tau_given_c(
+          j + 1, 1.0 / static_cast<double>(kM - j), c, kCwMin, kM);
+      const double rhs = random_reset_tau_given_c(j, 0.0, c, kCwMin, kM);
+      EXPECT_NEAR(lhs, rhs, 1e-12) << "c=" << c << " j=" << j;
+    }
+  }
+}
+
+// Lemma 6: any reset distribution's fixed-point tau lies within
+// [tau(m-1; 0), tau(0; 1)].
+TEST(RandomResetModel, Lemma6RangeCoversRandomDistributions) {
+  util::Rng rng(77);
+  const int n = 15;
+  const auto range = reachable_tau_range(n, kCwMin, kM);
+  EXPECT_LT(range.low, range.high);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> q(kM + 1);
+    double sum = 0.0;
+    for (auto& v : q) {
+      v = rng.uniform();
+      sum += v;
+    }
+    for (auto& v : q) v /= sum;
+    const double tau = solve_fixed_point(q, n, kCwMin).tau;
+    EXPECT_GE(tau, range.low - 1e-9);
+    EXPECT_LE(tau, range.high + 1e-9);
+  }
+}
+
+// Lemma 8 / Fig. 13: S~(j, p0) is quasi-concave in p0 for fixed j.
+class RandomResetQuasiConcave
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomResetQuasiConcave, Lemma8UnimodalInP0) {
+  const auto [j, n] = GetParam();
+  const mac::WifiParams params;
+  std::vector<double> ys;
+  for (double p0 = 0.0; p0 <= 1.0001; p0 += 0.02)
+    ys.push_back(
+        random_reset_throughput(j, std::min(p0, 1.0), n, params));
+  const auto report = check_unimodal(ys, 1e-9);
+  EXPECT_TRUE(report.unimodal)
+      << "j=" << j << " n=" << n << " violation=" << report.max_violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(StagesAndN, RandomResetQuasiConcave,
+                         ::testing::Combine(::testing::Values(0, 1, 3, 6),
+                                            ::testing::Values(10, 20, 40, 60)),
+                         [](const auto& info) {
+                           return "j" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "_n" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(RandomResetModel, OptimalBeatsAlwaysReset) {
+  // For large N, always resetting to stage 0 (standard-802.11-like) is too
+  // aggressive; some deeper reset does better.
+  const mac::WifiParams params;
+  const int n = 60;
+  const double aggressive = random_reset_throughput(0, 1.0, n, params);
+  double best = 0.0;
+  for (int j = 0; j < kM; ++j)
+    for (double p0 = 0.0; p0 <= 1.0; p0 += 0.05)
+      best = std::max(best, random_reset_throughput(j, p0, n, params));
+  EXPECT_GT(best, aggressive * 1.05);
+}
+
+TEST(RandomResetModel, PaperClaimOptimalUpTo140Nodes) {
+  // Section IV remark: with CWmin = 8, m = 7, TORA's reachable tau range
+  // covers the optimum for N up to ~140. Check the optimal tau (eq. 8
+  // approximation) lies inside the reachable range at N = 2 and N = 140.
+  const mac::WifiParams params;
+  for (int n : {2, 140}) {
+    const auto range = reachable_tau_range(n, kCwMin, kM);
+    const double p_star = approx_optimal_probability(n, params);
+    EXPECT_GE(p_star, range.low * 0.9) << "n=" << n;
+    EXPECT_LE(p_star, range.high * 1.1) << "n=" << n;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Tests of the p-persistent analytical model (Eqs. 2-3, 6-8, Lemma 1,
+// Theorem 2), including parameterized property sweeps.
+#include "analysis/ppersistent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/quasiconcave.hpp"
+
+namespace {
+
+using namespace wlan;
+using namespace wlan::analysis;
+
+std::vector<double> ones(int n) {
+  return std::vector<double>(static_cast<std::size_t>(n), 1.0);
+}
+
+TEST(PPersistentModel, ZeroAndOneGiveZeroThroughput) {
+  const mac::WifiParams params;
+  const auto w = ones(10);
+  EXPECT_DOUBLE_EQ(ppersistent_system_throughput(0.0, w, params), 0.0);
+  // p = 1 with >= 2 stations: every slot collides.
+  EXPECT_NEAR(ppersistent_system_throughput(1.0, w, params), 0.0, 1e-9);
+}
+
+TEST(PPersistentModel, SingleStationMonotoneInP) {
+  // With one station there are no collisions: more aggressive is better.
+  const mac::WifiParams params;
+  const auto w = ones(1);
+  double prev = 0.0;
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double s = ppersistent_system_throughput(p, w, params);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(PPersistentModel, MagnitudeMatchesPaperScale) {
+  // Fig. 2: ~20 nodes peak in the low-to-mid 20s of Mb/s.
+  const mac::WifiParams params;
+  const auto w = ones(20);
+  const double p_star = optimal_master_probability(w, params);
+  const double peak = ppersistent_system_throughput(p_star, w, params) / 1e6;
+  EXPECT_GT(peak, 18.0);
+  EXPECT_LT(peak, 30.0);
+}
+
+TEST(PPersistentModel, PerStationSumsToSystem) {
+  const mac::WifiParams params;
+  const std::vector<double> w{1, 1, 2, 3};
+  const double total = ppersistent_system_throughput(0.05, w, params);
+  const auto per = ppersistent_per_station_throughput(0.05, w, params);
+  double sum = 0.0;
+  for (double v : per) sum += v;
+  EXPECT_NEAR(sum, total, total * 1e-9);
+}
+
+TEST(PPersistentModel, Lemma1WeightedShares) {
+  // Station throughput proportional to its weight, for ANY master p.
+  const mac::WifiParams params;
+  const std::vector<double> w{1, 2, 3, 5};
+  for (double p : {0.01, 0.05, 0.2}) {
+    const auto per = ppersistent_per_station_throughput(p, w, params);
+    for (std::size_t i = 1; i < w.size(); ++i) {
+      EXPECT_NEAR(per[i] / per[0], w[i] / w[0], 1e-9)
+          << "p=" << p << " i=" << i;
+    }
+  }
+}
+
+TEST(PPersistentModel, FSignsBracketOptimum) {
+  const mac::WifiParams params;
+  const auto w = ones(20);
+  const double p_star = optimal_master_probability(w, params);
+  EXPECT_GT(ppersistent_f(p_star * 0.5, w, params), 0.0);
+  EXPECT_LT(ppersistent_f(p_star * 2.0, w, params), 0.0);
+  EXPECT_NEAR(ppersistent_f(p_star, w, params), 0.0, 1e-6);
+}
+
+TEST(PPersistentModel, FBoundaryValues) {
+  // f(0) = 1 and f(1) = -(N-1) Tc* (proof of Theorem 2).
+  const mac::WifiParams params;
+  const auto w = ones(10);
+  EXPECT_NEAR(ppersistent_f(0.0, w, params), 1.0, 1e-12);
+  EXPECT_NEAR(ppersistent_f(1.0, w, params), -9.0 * params.tc_star(), 1e-6);
+}
+
+TEST(PPersistentModel, OptimalPMaximizesThroughput) {
+  const mac::WifiParams params;
+  const auto w = ones(30);
+  const double p_star = optimal_master_probability(w, params);
+  const double s_star = ppersistent_system_throughput(p_star, w, params);
+  for (double factor : {0.5, 0.8, 1.25, 2.0}) {
+    EXPECT_GT(s_star,
+              ppersistent_system_throughput(p_star * factor, w, params));
+  }
+}
+
+TEST(PPersistentModel, Eq8ApproximationCloseToExact) {
+  const mac::WifiParams params;
+  for (int n : {10, 20, 40, 60}) {
+    const double exact = optimal_master_probability(ones(n), params);
+    const double approx = approx_optimal_probability(n, params);
+    EXPECT_NEAR(approx / exact, 1.0, 0.15) << "n=" << n;
+  }
+}
+
+TEST(PPersistentModel, OptimalPScalesInverseN) {
+  const mac::WifiParams params;
+  const double p20 = optimal_master_probability(ones(20), params);
+  const double p40 = optimal_master_probability(ones(40), params);
+  EXPECT_NEAR(p20 / p40, 2.0, 0.1);
+}
+
+TEST(PPersistentModel, WeightedOptimumAccountsForWeights) {
+  // Heavier total weight -> lower optimal master p (same aggregate load).
+  const mac::WifiParams params;
+  const double p_ones = optimal_master_probability(ones(10), params);
+  const std::vector<double> heavy(10, 3.0);
+  const double p_heavy = optimal_master_probability(heavy, params);
+  EXPECT_LT(p_heavy, p_ones);
+}
+
+TEST(PPersistentModel, Validation) {
+  const mac::WifiParams params;
+  EXPECT_THROW(ppersistent_system_throughput(-0.1, ones(2), params),
+               std::invalid_argument);
+  EXPECT_THROW(ppersistent_system_throughput(0.5, {}, params),
+               std::invalid_argument);
+  const std::vector<double> bad{1.0, -1.0};
+  EXPECT_THROW(ppersistent_system_throughput(0.5, bad, params),
+               std::invalid_argument);
+  EXPECT_THROW(approx_optimal_probability(0, params), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 2 as a property: S(p, W) is strictly quasi-concave in p, for many
+// N and weight profiles, under both timing variants.
+
+struct CurveCase {
+  int n;
+  double weight_spread;  // station i weight = 1 + spread*i/n
+  bool paper_timing;
+};
+
+class QuasiConcavity : public ::testing::TestWithParam<CurveCase> {};
+
+TEST_P(QuasiConcavity, ThroughputUnimodalInP) {
+  const auto& c = GetParam();
+  const mac::WifiParams params = c.paper_timing
+                                     ? mac::WifiParams::paper_timing()
+                                     : mac::WifiParams::ns3_like();
+  std::vector<double> w;
+  for (int i = 0; i < c.n; ++i)
+    w.push_back(1.0 + c.weight_spread * i / std::max(1, c.n - 1));
+
+  // Log-spaced p grid like Fig. 2's x axis.
+  std::vector<double> ys;
+  for (double logp = -10.0; logp <= -0.02; logp += 0.05)
+    ys.push_back(ppersistent_system_throughput(std::exp(logp), w, params));
+
+  const auto report = check_unimodal(ys, 0.0);
+  EXPECT_TRUE(report.unimodal)
+      << "n=" << c.n << " violation=" << report.max_violation;
+  // The peak is interior, not at the grid edges.
+  EXPECT_GT(report.peak_index, 0u);
+  EXPECT_LT(report.peak_index, ys.size() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuasiConcavity,
+    ::testing::Values(CurveCase{2, 0.0, false}, CurveCase{5, 0.0, false},
+                      CurveCase{10, 0.0, false}, CurveCase{20, 0.0, false},
+                      CurveCase{40, 0.0, false}, CurveCase{60, 0.0, false},
+                      CurveCase{10, 2.0, false}, CurveCase{30, 4.0, false},
+                      CurveCase{20, 0.0, true}, CurveCase{40, 2.0, true}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_spread" +
+             std::to_string(static_cast<int>(info.param.weight_spread)) +
+             (info.param.paper_timing ? "_paper" : "_ns3");
+    });
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Unit tests for the event queue: ordering, tie-breaks, cancellation.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using wlan::sim::EventId;
+using wlan::sim::EventQueue;
+using wlan::sim::Time;
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::from_ns(30), [&] { order.push_back(3); });
+  q.schedule(Time::from_ns(10), [&] { order.push_back(1); });
+  q.schedule(Time::from_ns(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule(Time::from_ns(5), [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, PopReportsScheduledTime) {
+  EventQueue q;
+  q.schedule(Time::from_ns(77), [] {});
+  auto fired = q.pop();
+  EXPECT_EQ(fired.time.ns(), 77);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.schedule(Time::from_ns(1), [&] { ran = true; });
+  q.schedule(Time::from_ns(2), [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelNullHandleIsNoop) {
+  EventQueue q;
+  q.schedule(Time::from_ns(1), [] {});
+  q.cancel(EventId{});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, DoubleCancelIsNoop) {
+  EventQueue q;
+  EventId id = q.schedule(Time::from_ns(1), [] {});
+  q.schedule(Time::from_ns(2), [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelAllLeavesEmpty) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5; ++i)
+    ids.push_back(q.schedule(Time::from_ns(i), [] {}));
+  for (auto id : ids) q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId early = q.schedule(Time::from_ns(1), [] {});
+  q.schedule(Time::from_ns(9), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time().ns(), 9);
+}
+
+TEST(EventQueue, ClearRemovesEverything) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(Time::from_ns(i), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  // Still usable afterwards.
+  q.schedule(Time::from_ns(1), [] {});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, StaleCancelAfterFireIsNoop) {
+  // Regression: cancelling a handle whose event already FIRED must not
+  // disturb the queue's accounting. An earlier implementation decremented
+  // a live-event counter on any first-time cancel, so components holding
+  // stale handles (e.g. a station cancelling an old NAV timer on every
+  // busy transition) could convince the queue it was empty while events
+  // remained — silently freezing whole simulations.
+  EventQueue q;
+  EventId fired = q.schedule(Time::from_ns(1), [] {});
+  q.schedule(Time::from_ns(2), [] {});
+  q.pop().callback();  // fires event 1
+  EXPECT_EQ(q.size(), 1u);
+  q.cancel(fired);  // stale handle
+  q.cancel(fired);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.next_time().ns(), 2);
+}
+
+TEST(EventQueue, CancelledThenStaleCancelKeepsOthersLive) {
+  EventQueue q;
+  EventId a = q.schedule(Time::from_ns(1), [] {});
+  q.schedule(Time::from_ns(2), [] {});
+  q.schedule(Time::from_ns(3), [] {});
+  q.cancel(a);
+  q.cancel(a);  // double cancel
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();      // fires event 2
+  q.cancel(a);  // still a no-op
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  // Deterministic pseudo-random times; verify global ordering on pop.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.schedule(Time::from_ns(static_cast<std::int64_t>(x % 1000000)), [] {});
+  }
+  Time last = Time::zero();
+  while (!q.empty()) {
+    auto fired = q.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+  }
+}
+
+}  // namespace

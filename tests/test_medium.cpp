@@ -1,0 +1,332 @@
+// Unit tests for the Medium: carrier sensing, collision resolution per
+// receiver, promiscuous delivery, hidden-node overlap semantics.
+#include "phy/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace wlan;
+using namespace wlan::phy;
+using sim::Duration;
+using sim::Time;
+
+/// Records every callback with its time.
+class Probe : public MediumClient {
+ public:
+  struct Rx {
+    Frame frame;
+    bool clean;
+    Time t;
+  };
+  int busy_events = 0;
+  int idle_events = 0;
+  std::vector<Rx> received;
+  Time last_busy = Time::zero();
+  Time last_idle = Time::zero();
+
+  void on_channel_busy(Time now) override {
+    ++busy_events;
+    last_busy = now;
+  }
+  void on_channel_idle(Time now) override {
+    ++idle_events;
+    last_idle = now;
+  }
+  void on_frame_received(const Frame& f, bool clean, Time now) override {
+    received.push_back(Rx{f, clean, now});
+  }
+};
+
+Frame data_frame(NodeId src, NodeId dst) {
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.src = src;
+  f.dst = dst;
+  f.payload_bits = 8000;
+  return f;
+}
+
+/// Fully-connected 3-node fixture: AP=0, stations 1 and 2.
+struct ConnectedWorld {
+  sim::Simulator sim;
+  DiscPropagation prop{100.0, 100.0};
+  Medium medium{sim, prop};
+  Probe ap, s1, s2;
+
+  ConnectedWorld() {
+    medium.add_node({0, 0}, ap);
+    medium.add_node({1, 0}, s1);
+    medium.add_node({2, 0}, s2);
+    medium.finalize();
+  }
+};
+
+TEST(Medium, CleanDeliveryToDecodableReceivers) {
+  ConnectedWorld w;
+  w.sim.schedule_at(Time::from_ns(100), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(100));
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  ASSERT_EQ(w.ap.received.size(), 1u);
+  EXPECT_TRUE(w.ap.received[0].clean);
+  EXPECT_EQ(w.ap.received[0].frame.src, 1);
+  EXPECT_EQ(w.ap.received[0].t.ns(), 100 + 100000);
+  // Promiscuous: station 2 also hears it, cleanly.
+  ASSERT_EQ(w.s2.received.size(), 1u);
+  EXPECT_TRUE(w.s2.received[0].clean);
+  // The transmitter does not receive its own frame.
+  EXPECT_TRUE(w.s1.received.empty());
+}
+
+TEST(Medium, BusyIdleCallbacksForListeners) {
+  ConnectedWorld w;
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(50));
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  EXPECT_EQ(w.ap.busy_events, 1);
+  EXPECT_EQ(w.ap.idle_events, 1);
+  EXPECT_EQ(w.s2.busy_events, 1);
+  EXPECT_EQ(w.s2.idle_events, 1);
+  // The transmitter never senses itself.
+  EXPECT_EQ(w.s1.busy_events, 0);
+  EXPECT_EQ(w.s1.idle_events, 0);
+  EXPECT_EQ(w.s2.last_idle.ns(), 50000);
+}
+
+TEST(Medium, IsBusyForExcludesSelf) {
+  ConnectedWorld w;
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(50));
+    EXPECT_FALSE(w.medium.is_busy_for(1));
+    EXPECT_TRUE(w.medium.is_busy_for(0));
+    EXPECT_TRUE(w.medium.is_busy_for(2));
+    EXPECT_TRUE(w.medium.is_transmitting(1));
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  EXPECT_FALSE(w.medium.is_busy_for(0));
+  EXPECT_FALSE(w.medium.is_transmitting(1));
+}
+
+TEST(Medium, OverlappingTransmissionsBothCorrupt) {
+  ConnectedWorld w;
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(100));
+  });
+  w.sim.schedule_at(Time::from_ns(50'000), [&] {
+    w.medium.start_transmission(2, data_frame(2, 0),
+                                Duration::microseconds(100));
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  ASSERT_EQ(w.ap.received.size(), 2u);
+  EXPECT_FALSE(w.ap.received[0].clean);
+  EXPECT_FALSE(w.ap.received[1].clean);
+  EXPECT_EQ(w.medium.corrupt_deliveries(), 2u + 2u);  // at AP and at peers
+}
+
+TEST(Medium, SequentialTransmissionsBothClean) {
+  ConnectedWorld w;
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(100));
+  });
+  w.sim.schedule_at(Time::from_ns(100'000), [&] {  // back-to-back, no overlap
+    w.medium.start_transmission(2, data_frame(2, 0),
+                                Duration::microseconds(100));
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  ASSERT_EQ(w.ap.received.size(), 2u);
+  EXPECT_TRUE(w.ap.received[0].clean);
+  EXPECT_TRUE(w.ap.received[1].clean);
+}
+
+TEST(Medium, MergedBusyPeriodSingleTransition) {
+  ConnectedWorld w;
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(100));
+  });
+  w.sim.schedule_at(Time::from_ns(50'000), [&] {
+    w.medium.start_transmission(2, data_frame(2, 0),
+                                Duration::microseconds(100));
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  // The AP sees one continuous busy period [0, 150us].
+  EXPECT_EQ(w.ap.busy_events, 1);
+  EXPECT_EQ(w.ap.idle_events, 1);
+  EXPECT_EQ(w.ap.last_idle.ns(), 150'000);
+}
+
+TEST(Medium, HalfDuplexReceiverCorrupts) {
+  ConnectedWorld w;
+  // Station 2 transmits to the AP while the AP itself is transmitting.
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    Frame ack;
+    ack.kind = FrameKind::kAck;
+    ack.src = 0;
+    ack.dst = 1;
+    w.medium.start_transmission(0, ack, Duration::microseconds(40));
+  });
+  w.sim.schedule_at(Time::from_ns(10'000), [&] {
+    w.medium.start_transmission(2, data_frame(2, 0),
+                                Duration::microseconds(20));
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  // Station 2's frame ends while the AP transmits: corrupt at the AP.
+  bool found = false;
+  for (const auto& rx : w.ap.received) {
+    if (rx.frame.src == 2) {
+      found = true;
+      EXPECT_FALSE(rx.clean);
+    }
+  }
+  EXPECT_TRUE(found);
+  // The ACK at station 2 is also corrupt (it transmitted during it), but
+  // clean at station 1 — no, station 1 heard station 2's overlap too.
+  ASSERT_FALSE(w.s1.received.empty());
+  EXPECT_FALSE(w.s1.received[0].clean);
+}
+
+/// Hidden-node fixture: stations 1 and 2 cannot sense each other but both
+/// reach the AP (ExplicitGraph row = source, column = observer).
+struct HiddenWorld {
+  sim::Simulator sim;
+  ExplicitGraph prop{
+      // sense: AP audible everywhere; stations mutually hidden.
+      {{false, true, true}, {true, false, false}, {true, false, false}},
+      // decode: same structure.
+      {{false, true, true}, {true, false, false}, {true, false, false}}};
+  Medium medium{sim, prop};
+  Probe ap, s1, s2;
+
+  HiddenWorld() {
+    medium.add_node(graph_position(0), ap);
+    medium.add_node(graph_position(1), s1);
+    medium.add_node(graph_position(2), s2);
+    medium.finalize();
+  }
+};
+
+TEST(Medium, HiddenNodesDoNotSenseEachOther) {
+  HiddenWorld w;
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(100));
+    EXPECT_TRUE(w.medium.is_busy_for(0));
+    EXPECT_FALSE(w.medium.is_busy_for(2));  // hidden!
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  EXPECT_EQ(w.s2.busy_events, 0);
+  EXPECT_TRUE(w.s2.received.empty());  // cannot decode either
+}
+
+TEST(Medium, HiddenOverlapCorruptsAtApOnly) {
+  HiddenWorld w;
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(100));
+  });
+  // Station 2 cannot sense station 1, so it may start mid-flight.
+  w.sim.schedule_at(Time::from_ns(60'000), [&] {
+    w.medium.start_transmission(2, data_frame(2, 0),
+                                Duration::microseconds(100));
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  ASSERT_EQ(w.ap.received.size(), 2u);
+  EXPECT_FALSE(w.ap.received[0].clean);
+  EXPECT_FALSE(w.ap.received[1].clean);
+}
+
+TEST(Medium, ApBroadcastReachesHiddenStations) {
+  HiddenWorld w;
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    Frame ack;
+    ack.kind = FrameKind::kAck;
+    ack.src = 0;
+    ack.dst = 1;
+    w.medium.start_transmission(0, ack, Duration::microseconds(40));
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  // Both stations decode the AP's ACK (wTOP relies on overhearing).
+  ASSERT_EQ(w.s1.received.size(), 1u);
+  ASSERT_EQ(w.s2.received.size(), 1u);
+  EXPECT_TRUE(w.s1.received[0].clean);
+  EXPECT_TRUE(w.s2.received[0].clean);
+}
+
+TEST(Medium, SensesAndDecodesQueries) {
+  HiddenWorld w;
+  EXPECT_TRUE(w.medium.senses(0, 1));
+  EXPECT_TRUE(w.medium.senses(1, 0));
+  EXPECT_FALSE(w.medium.senses(1, 2));
+  EXPECT_TRUE(w.medium.decodes(2, 0));
+  EXPECT_FALSE(w.medium.decodes(2, 1));
+}
+
+TEST(Medium, ThrowsOnDoubleTransmit) {
+  ConnectedWorld w;
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(100));
+    EXPECT_THROW(w.medium.start_transmission(1, data_frame(1, 0),
+                                             Duration::microseconds(100)),
+                 std::logic_error);
+  });
+  w.sim.run_until(Time::from_seconds(1));
+}
+
+TEST(Medium, ThrowsWhenNotFinalized) {
+  sim::Simulator s;
+  DiscPropagation prop(10, 10);
+  Medium m(s, prop);
+  Probe p;
+  m.add_node({0, 0}, p);
+  EXPECT_THROW(m.start_transmission(0, data_frame(0, 0),
+                                    Duration::microseconds(1)),
+               std::logic_error);
+}
+
+TEST(Medium, ThrowsOnAddAfterFinalize) {
+  ConnectedWorld w;
+  Probe extra;
+  EXPECT_THROW(w.medium.add_node({5, 5}, extra), std::logic_error);
+}
+
+TEST(Medium, CountsTransmissions) {
+  ConnectedWorld w;
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(10));
+  });
+  w.sim.schedule_at(Time::from_ns(100'000), [&] {
+    w.medium.start_transmission(2, data_frame(2, 0),
+                                Duration::microseconds(10));
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  EXPECT_EQ(w.medium.transmissions_started(), 2u);
+}
+
+TEST(Medium, ThreeWayCollisionAllCorrupt) {
+  ConnectedWorld w;
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(100));
+    w.medium.start_transmission(2, data_frame(2, 0),
+                                Duration::microseconds(100));
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  ASSERT_EQ(w.ap.received.size(), 2u);
+  EXPECT_FALSE(w.ap.received[0].clean);
+  EXPECT_FALSE(w.ap.received[1].clean);
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Unit tests for geometry and propagation models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/geometry.hpp"
+#include "phy/propagation.hpp"
+
+namespace {
+
+using namespace wlan::phy;
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Geometry, VectorOps) {
+  const Vec2 a{1, 2}, b{3, -1};
+  EXPECT_EQ((a + b), (Vec2{4, 1}));
+  EXPECT_EQ((a - b), (Vec2{-2, 3}));
+  EXPECT_EQ((a * 2.0), (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+}
+
+TEST(Geometry, Polar) {
+  const Vec2 p = polar(2.0, M_PI / 2.0);
+  EXPECT_NEAR(p.x, 0.0, 1e-12);
+  EXPECT_NEAR(p.y, 2.0, 1e-12);
+}
+
+TEST(DiscPropagation, PaperRadii) {
+  // The paper's setup: decode up to 16 units, sense up to 24 units.
+  DiscPropagation prop(16.0, 24.0);
+  const Vec2 origin{0, 0};
+  EXPECT_TRUE(prop.can_decode(origin, {16, 0}));
+  EXPECT_FALSE(prop.can_decode(origin, {16.01, 0}));
+  EXPECT_TRUE(prop.can_sense(origin, {24, 0}));
+  EXPECT_FALSE(prop.can_sense(origin, {24.01, 0}));
+  // Between decode and sense range: audible but not decodable.
+  EXPECT_TRUE(prop.can_sense(origin, {20, 0}));
+  EXPECT_FALSE(prop.can_decode(origin, {20, 0}));
+}
+
+TEST(DiscPropagation, HiddenPairGeometry) {
+  // Two stations 32 apart on opposite sides of an AP at distance 16 each:
+  // both reach the AP, neither senses the other (Section I's construction).
+  DiscPropagation prop(16.0, 24.0);
+  const Vec2 ap{0, 0}, s1{-16, 0}, s2{16, 0};
+  EXPECT_TRUE(prop.can_decode(s1, ap));
+  EXPECT_TRUE(prop.can_decode(s2, ap));
+  EXPECT_FALSE(prop.can_sense(s1, s2));
+  EXPECT_FALSE(prop.can_sense(s2, s1));
+}
+
+TEST(DiscPropagation, RejectsNegativeRadius) {
+  EXPECT_THROW(DiscPropagation(-1.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(DiscPropagation(1.0, -5.0), std::invalid_argument);
+}
+
+TEST(ExplicitGraph, AsymmetricLinks) {
+  // 0 senses 1's transmissions but not vice versa (shadowing).
+  std::vector<std::vector<bool>> sense{{false, false}, {true, false}};
+  std::vector<std::vector<bool>> decode{{false, true}, {true, false}};
+  ExplicitGraph g(sense, decode);
+  EXPECT_TRUE(g.can_sense(graph_position(1), graph_position(0)));
+  EXPECT_FALSE(g.can_sense(graph_position(0), graph_position(1)));
+  EXPECT_TRUE(g.can_decode(graph_position(0), graph_position(1)));
+}
+
+TEST(ExplicitGraph, RejectsNonSquare) {
+  std::vector<std::vector<bool>> bad{{false, true}};
+  EXPECT_THROW(ExplicitGraph(bad, bad), std::invalid_argument);
+}
+
+TEST(ExplicitGraph, RejectsMismatchedSizes) {
+  std::vector<std::vector<bool>> a{{false}};
+  std::vector<std::vector<bool>> b{{false, false}, {false, false}};
+  EXPECT_THROW(ExplicitGraph(a, b), std::invalid_argument);
+}
+
+TEST(ExplicitGraph, RejectsUnknownPosition) {
+  std::vector<std::vector<bool>> m{{false}};
+  ExplicitGraph g(m, m);
+  EXPECT_THROW(g.can_sense(graph_position(5), graph_position(0)),
+               std::out_of_range);
+}
+
+}  // namespace

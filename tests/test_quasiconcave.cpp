@@ -1,0 +1,73 @@
+// Unit tests for the unimodality checker.
+#include "analysis/quasiconcave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using wlan::analysis::check_unimodal;
+
+TEST(Unimodal, AcceptsStrictBell) {
+  const std::vector<double> ys{1, 3, 7, 9, 8, 4, 2};
+  const auto r = check_unimodal(ys);
+  EXPECT_TRUE(r.unimodal);
+  EXPECT_EQ(r.peak_index, 3u);
+  EXPECT_DOUBLE_EQ(r.max_violation, 0.0);
+}
+
+TEST(Unimodal, AcceptsMonotone) {
+  EXPECT_TRUE(check_unimodal(std::vector<double>{1, 2, 3, 4}).unimodal);
+  EXPECT_TRUE(check_unimodal(std::vector<double>{4, 3, 2, 1}).unimodal);
+  EXPECT_TRUE(check_unimodal(std::vector<double>{2, 2, 2}).unimodal);
+}
+
+TEST(Unimodal, TinyInputsTriviallyUnimodal) {
+  EXPECT_TRUE(check_unimodal(std::vector<double>{}).unimodal);
+  EXPECT_TRUE(check_unimodal(std::vector<double>{1}).unimodal);
+  EXPECT_TRUE(check_unimodal(std::vector<double>{2, 1}).unimodal);
+}
+
+TEST(Unimodal, RejectsTwoPeaks) {
+  const std::vector<double> ys{1, 5, 1, 5, 1};
+  const auto r = check_unimodal(ys);
+  EXPECT_FALSE(r.unimodal);
+  EXPECT_DOUBLE_EQ(r.max_violation, 4.0);
+}
+
+TEST(Unimodal, RejectsDipBeforePeak) {
+  const std::vector<double> ys{1, 4, 2, 9, 3};
+  EXPECT_FALSE(check_unimodal(ys).unimodal);
+}
+
+TEST(Unimodal, RejectsRiseAfterPeak) {
+  const std::vector<double> ys{1, 9, 3, 5, 2};
+  EXPECT_FALSE(check_unimodal(ys).unimodal);
+}
+
+TEST(Unimodal, ToleranceAbsorbsNoise) {
+  // A bell with +-0.3 measurement noise on values up to 10.
+  const std::vector<double> ys{1.0, 3.2, 2.9, 7.1, 9.8, 9.6, 9.9, 4.2, 2.1};
+  EXPECT_FALSE(check_unimodal(ys, 0.0).unimodal);
+  EXPECT_TRUE(check_unimodal(ys, 0.05).unimodal);  // band = 0.5
+}
+
+TEST(Unimodal, ToleranceDoesNotMaskRealSecondPeak) {
+  const std::vector<double> ys{1, 9, 2, 8, 1};
+  EXPECT_FALSE(check_unimodal(ys, 0.05).unimodal);  // band = 0.45 << 6
+}
+
+TEST(Unimodal, PeakAtEdges) {
+  EXPECT_TRUE(check_unimodal(std::vector<double>{9, 5, 3, 1}).unimodal);
+  const auto r = check_unimodal(std::vector<double>{9, 5, 3, 1});
+  EXPECT_EQ(r.peak_index, 0u);
+  EXPECT_TRUE(check_unimodal(std::vector<double>{1, 3, 5, 9}).unimodal);
+}
+
+TEST(Unimodal, PlateauAroundPeak) {
+  const std::vector<double> ys{1, 5, 5, 5, 1};
+  EXPECT_TRUE(check_unimodal(ys).unimodal);
+}
+
+}  // namespace

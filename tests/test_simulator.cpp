@@ -1,0 +1,130 @@
+// Unit tests for the simulation executive.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using wlan::sim::Duration;
+using wlan::sim::Simulator;
+using wlan::sim::Time;
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Time::zero());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunUntilAdvancesClockToLimit) {
+  Simulator sim;
+  sim.run_until(Time::from_seconds(5.0));
+  EXPECT_EQ(sim.now(), Time::from_seconds(5.0));
+}
+
+TEST(Simulator, CallbackSeesItsScheduledTime) {
+  Simulator sim;
+  Time seen = Time::zero();
+  sim.schedule_at(Time::from_ns(500), [&] { seen = sim.now(); });
+  sim.run_until(Time::from_ns(1000));
+  EXPECT_EQ(seen.ns(), 500);
+}
+
+TEST(Simulator, EventsAtLimitRun) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(Time::from_ns(1000), [&] { ran = true; });
+  sim.run_until(Time::from_ns(1000));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, EventsPastLimitDoNotRun) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(Time::from_ns(1001), [&] { ran = true; });
+  sim.run_until(Time::from_ns(1000));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.now(), Time::from_ns(1000));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  sim.schedule_after(Duration::nanoseconds(10), [&] {
+    times.push_back(sim.now().ns());
+    sim.schedule_after(Duration::nanoseconds(10),
+                       [&] { times.push_back(sim.now().ns()); });
+  });
+  sim.run_until(Time::from_ns(100));
+  EXPECT_EQ(times, (std::vector<std::int64_t>{10, 20}));
+}
+
+TEST(Simulator, CancelInsideCallback) {
+  Simulator sim;
+  bool second_ran = false;
+  auto id = sim.schedule_at(Time::from_ns(20), [&] { second_ran = true; });
+  sim.schedule_at(Time::from_ns(10), [&] { sim.cancel(id); });
+  sim.run_until(Time::from_ns(100));
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Simulator, StopHaltsProcessing) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(Time::from_ns(1), [&] {
+    ++ran;
+    sim.stop();
+  });
+  sim.schedule_at(Time::from_ns(2), [&] { ++ran; });
+  sim.run_until(Time::from_ns(100));
+  EXPECT_EQ(ran, 1);
+  // A subsequent run resumes with the remaining events.
+  sim.run_until(Time::from_ns(100));
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, RunAllDrainsQueue) {
+  Simulator sim;
+  int ran = 0;
+  for (int i = 1; i <= 5; ++i)
+    sim.schedule_at(Time::from_ns(i), [&] { ++ran; });
+  EXPECT_EQ(sim.run_all(), 5u);
+  EXPECT_EQ(ran, 5);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(Time::from_ns(1), [&] { ++ran; });
+  sim.schedule_at(Time::from_ns(2), [&] { ++ran; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(Time::from_ns(i + 1), [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  // Mirrors the MAC's two-phase commit: decisions at t, then radio starts
+  // scheduled at the same t run strictly after.
+  sim.schedule_at(Time::from_ns(10), [&] {
+    order.push_back(1);
+    sim.schedule_at(Time::from_ns(10), [&] { order.push_back(3); });
+  });
+  sim.schedule_at(Time::from_ns(10), [&] { order.push_back(2); });
+  sim.run_until(Time::from_ns(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace

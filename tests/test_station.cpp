@@ -1,0 +1,262 @@
+// Behavioural tests of the Station DCF state machine and AccessPoint,
+// assembled through mac::Network on small deterministic topologies.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/wtop_csma.hpp"
+#include "mac/network.hpp"
+#include "phy/propagation.hpp"
+
+namespace {
+
+using namespace wlan;
+using namespace wlan::mac;
+using sim::Duration;
+using sim::Time;
+
+std::unique_ptr<phy::PropagationModel> everyone_connected() {
+  return std::make_unique<phy::DiscPropagation>(1e9, 1e9);
+}
+
+/// AP node 0, stations mutually hidden but connected to the AP.
+std::unique_ptr<phy::PropagationModel> hidden_pair_graph() {
+  std::vector<std::vector<bool>> sense{{false, true, true},
+                                       {true, false, false},
+                                       {true, false, false}};
+  return std::make_unique<phy::ExplicitGraph>(sense, sense);
+}
+
+TEST(Station, SingleStationFirstExchangeTiming) {
+  WifiParams params;  // ns3-like Table I
+  Network net(params, everyone_connected(), {0, 0}, /*seed=*/1);
+  // p = 1: transmit at the first slot boundary after DIFS.
+  net.add_station({1, 0},
+                  std::make_unique<PPersistentStrategy>(1.0, 1.0, false));
+  net.finalize();
+  net.start();
+
+  const Time tx_start = Time::zero() + params.difs + params.slot;
+  const Time ack_end = tx_start + params.data_airtime() + params.sifs +
+                       params.ack_airtime();
+  net.run_until(ack_end);
+
+  EXPECT_EQ(net.counters().node(0).data_tx_attempts, 1u);
+  EXPECT_EQ(net.counters().node(0).successes, 1u);
+  EXPECT_EQ(net.counters().node(0).failures, 0u);
+  EXPECT_EQ(net.counters().node(0).bits_delivered, params.payload_bits);
+  EXPECT_EQ(net.ap().data_frames_received(), 1u);
+}
+
+TEST(Station, SingleStationSaturatedCycle) {
+  WifiParams params;
+  Network net(params, everyone_connected(), {0, 0}, 1);
+  net.add_station({1, 0},
+                  std::make_unique<PPersistentStrategy>(1.0, 1.0, false));
+  net.finalize();
+  net.start();
+  net.run_for(Duration::seconds(1.0));
+
+  // Per-exchange period: DIFS + slot + Tdata + SIFS + Tack, then repeat.
+  const double cycle = (params.difs + params.slot + params.data_airtime() +
+                        params.sifs + params.ack_airtime())
+                           .s();
+  const auto expected = static_cast<std::uint64_t>(1.0 / cycle);
+  EXPECT_NEAR(static_cast<double>(net.counters().node(0).successes),
+              static_cast<double>(expected), 2.0);
+  EXPECT_EQ(net.counters().node(0).failures, 0u);
+  // Single saturated station ~ payload/(cycle) throughput.
+  EXPECT_NEAR(net.total_mbps(), 8000.0 / cycle / 1e6, 0.2);
+}
+
+TEST(Station, HiddenPairAlwaysCollides) {
+  WifiParams params;
+  Network net(params, hidden_pair_graph(), phy::graph_position(0), 1);
+  // Both stations transmit every slot and never hear each other.
+  net.add_station(phy::graph_position(1),
+                  std::make_unique<PPersistentStrategy>(1.0, 1.0, false));
+  net.add_station(phy::graph_position(2),
+                  std::make_unique<PPersistentStrategy>(1.0, 1.0, false));
+  net.finalize();
+  net.start();
+  net.run_for(Duration::seconds(0.5));
+
+  EXPECT_EQ(net.counters().total_successes(), 0u);
+  EXPECT_GT(net.counters().total_failures(), 100u);
+  EXPECT_EQ(net.counters().total_bits_delivered(), 0);
+  EXPECT_GT(net.ap().data_frames_corrupted(), 0u);
+}
+
+TEST(Station, ConnectedAlignedPairAlwaysCollides) {
+  // Fully connected, p = 1: both stations pick the same slot after every
+  // DIFS (slot grids align via shared busy periods), so they collide
+  // forever — the degenerate extreme the throughput curve's right edge
+  // (Fig. 2) represents.
+  WifiParams params;
+  Network net(params, everyone_connected(), {0, 0}, 1);
+  net.add_station({1, 0},
+                  std::make_unique<PPersistentStrategy>(1.0, 1.0, false));
+  net.add_station({2, 0},
+                  std::make_unique<PPersistentStrategy>(1.0, 1.0, false));
+  net.finalize();
+  net.start();
+  net.run_for(Duration::seconds(0.5));
+  EXPECT_EQ(net.counters().total_successes(), 0u);
+  EXPECT_GT(net.counters().total_failures(), 100u);
+}
+
+TEST(Station, ConnectedPairSharesChannelWithModerateP) {
+  WifiParams params;
+  Network net(params, everyone_connected(), {0, 0}, 7);
+  net.add_station({1, 0},
+                  std::make_unique<PPersistentStrategy>(0.1, 1.0, false));
+  net.add_station({2, 0},
+                  std::make_unique<PPersistentStrategy>(0.1, 1.0, false));
+  net.finalize();
+  net.start();
+  net.run_for(Duration::seconds(2.0));
+
+  EXPECT_GT(net.counters().node(0).successes, 100u);
+  EXPECT_GT(net.counters().node(1).successes, 100u);
+  // Both see some collisions (aligned slots, p = 0.1 each).
+  EXPECT_GT(net.counters().total_failures(), 0u);
+  // Roughly equal split.
+  const auto per = net.counters().per_node_mbps(net.measured_duration());
+  EXPECT_NEAR(per[0] / per[1], 1.0, 0.2);
+}
+
+TEST(Station, DeactivationStopsTraffic) {
+  WifiParams params;
+  Network net(params, everyone_connected(), {0, 0}, 1);
+  net.add_station({1, 0},
+                  std::make_unique<PPersistentStrategy>(0.5, 1.0, false));
+  net.add_station({2, 0},
+                  std::make_unique<PPersistentStrategy>(0.5, 1.0, false));
+  net.finalize();
+  net.start();
+  net.run_for(Duration::milliseconds(200));
+  net.station(1).set_active(false);
+  net.reset_counters();
+  net.run_for(Duration::milliseconds(500));
+
+  EXPECT_GT(net.counters().node(0).successes, 0u);
+  EXPECT_EQ(net.counters().node(1).data_tx_attempts, 0u);
+
+  // Reactivation resumes.
+  net.station(1).set_active(true);
+  net.reset_counters();
+  net.run_for(Duration::milliseconds(500));
+  EXPECT_GT(net.counters().node(1).successes, 0u);
+}
+
+TEST(Station, WTopParamsReachAllStationsViaAcks) {
+  WifiParams params;
+  Network net(params, everyone_connected(), {0, 0}, 3);
+  net.add_station({1, 0},
+                  std::make_unique<PPersistentStrategy>(0.1, 1.0, true));
+  net.add_station({2, 0},
+                  std::make_unique<PPersistentStrategy>(0.1, 3.0, true));
+  auto controller = std::make_unique<core::WTopCsmaController>();
+  const core::WTopCsmaController* ctrl = controller.get();
+  net.set_controller(std::move(controller));
+  net.finalize();
+  net.start();
+  net.run_for(Duration::seconds(2.0));
+
+  // Both stations track the broadcast probe through the Lemma 1 transform
+  // (weight 1 keeps it as-is).
+  const double probe = ctrl->current_probe();
+  const double p1 = net.station(0).strategy().attempt_probability();
+  const double p2 = net.station(1).strategy().attempt_probability();
+  // The probe changed segments since the last ACK each station heard, so
+  // allow either the current or recent probe; both stations heard the SAME
+  // last ACK (promiscuous), so their master p must match exactly:
+  EXPECT_NEAR(PPersistentStrategy::weighted_probability(
+                  p1 /* weight-1 station: master p == p1 */, 3.0),
+              p2, 1e-9);
+  EXPECT_NE(p1, 0.1);  // adaptation actually happened
+  EXPECT_GT(probe, 0.0);
+  EXPECT_GT(ctrl->iterations(), 0);
+}
+
+TEST(Station, IdleMeterSeesTransmissions) {
+  WifiParams params;
+  Network net(params, everyone_connected(), {0, 0}, 5);
+  net.add_station({1, 0},
+                  std::make_unique<PPersistentStrategy>(0.2, 1.0, false));
+  net.add_station({2, 0},
+                  std::make_unique<PPersistentStrategy>(0.2, 1.0, false));
+  net.finalize();
+  net.start();
+  net.run_for(Duration::seconds(1.0));
+  EXPECT_GT(net.ap().idle_meter().samples(), 100u);
+  EXPECT_GT(net.station(0).idle_meter().samples(), 100u);
+  // With p = 0.2 x2 stations, gaps average near 1/(1-(0.8)^2) slots-ish;
+  // just sanity-check the scale.
+  EXPECT_LT(net.ap().idle_meter().average_idle_slots(), 10.0);
+}
+
+TEST(Station, ApIdleMeterMatchesStationView) {
+  // In a fully connected network the AP and a station observe the same
+  // channel, so their idle-slot averages should agree closely.
+  WifiParams params;
+  Network net(params, everyone_connected(), {0, 0}, 11);
+  net.add_station({1, 0},
+                  std::make_unique<PPersistentStrategy>(0.05, 1.0, false));
+  net.add_station({2, 0},
+                  std::make_unique<PPersistentStrategy>(0.05, 1.0, false));
+  net.finalize();
+  net.start();
+  net.run_for(Duration::seconds(2.0));
+  const double ap = net.ap().idle_meter().average_idle_slots();
+  const double st = net.station(0).idle_meter().average_idle_slots();
+  EXPECT_NEAR(ap, st, 0.35 * ap);
+}
+
+TEST(Network, ValidationErrors) {
+  WifiParams params;
+  Network net(params, everyone_connected(), {0, 0}, 1);
+  EXPECT_THROW(net.start(), std::logic_error);  // before finalize
+  net.add_station({1, 0},
+                  std::make_unique<PPersistentStrategy>(0.5, 1.0, false));
+  net.finalize();
+  EXPECT_THROW(net.finalize(), std::logic_error);
+  EXPECT_THROW(net.add_station({2, 0}, std::make_unique<PPersistentStrategy>(
+                                           0.5, 1.0, false)),
+               std::logic_error);
+  EXPECT_THROW(net.run_for(Duration::seconds(1)), std::logic_error);
+  net.start();
+  EXPECT_THROW(net.start(), std::logic_error);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    WifiParams params;
+    Network net(params, everyone_connected(), {0, 0}, 99);
+    for (int i = 0; i < 5; ++i)
+      net.add_station({static_cast<double>(i + 1), 0},
+                      std::make_unique<PPersistentStrategy>(0.07, 1.0, false));
+    net.finalize();
+    net.start();
+    net.run_for(Duration::seconds(1.0));
+    return net.counters().total_bits_delivered();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Network, SeedChangesOutcome) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    WifiParams params;
+    Network net(params, everyone_connected(), {0, 0}, seed);
+    for (int i = 0; i < 5; ++i)
+      net.add_station({static_cast<double>(i + 1), 0},
+                      std::make_unique<PPersistentStrategy>(0.07, 1.0, false));
+    net.finalize();
+    net.start();
+    net.run_for(Duration::seconds(1.0));
+    return net.counters().total_bits_delivered();
+  };
+  EXPECT_NE(run_with_seed(1), run_with_seed(2));
+}
+
+}  // namespace

@@ -1,0 +1,219 @@
+// Unit tests for counters, idle-slot metering, fairness, time series.
+#include <gtest/gtest.h>
+
+#include "stats/counters.hpp"
+#include "stats/fairness.hpp"
+#include "stats/idle_slots.hpp"
+#include "stats/timeseries.hpp"
+
+namespace {
+
+using namespace wlan;
+using namespace wlan::stats;
+using sim::Duration;
+using sim::Time;
+
+TEST(Counters, AggregatesAcrossNodes) {
+  RunCounters rc(3);
+  rc.node(0).bits_delivered = 1'000'000;
+  rc.node(1).bits_delivered = 2'000'000;
+  rc.node(2).bits_delivered = 3'000'000;
+  rc.node(0).successes = 5;
+  rc.node(1).failures = 2;
+  EXPECT_EQ(rc.total_bits_delivered(), 6'000'000);
+  EXPECT_EQ(rc.total_successes(), 5u);
+  EXPECT_EQ(rc.total_failures(), 2u);
+}
+
+TEST(Counters, ThroughputConversion) {
+  RunCounters rc(2);
+  rc.node(0).bits_delivered = 10'000'000;
+  rc.node(1).bits_delivered = 10'000'000;
+  EXPECT_DOUBLE_EQ(rc.total_mbps(Duration::seconds(2.0)), 10.0);
+  const auto per = rc.per_node_mbps(Duration::seconds(2.0));
+  EXPECT_DOUBLE_EQ(per[0], 5.0);
+  EXPECT_DOUBLE_EQ(per[1], 5.0);
+}
+
+TEST(Counters, ZeroElapsedYieldsZero) {
+  RunCounters rc(1);
+  rc.node(0).bits_delivered = 999;
+  EXPECT_DOUBLE_EQ(rc.total_mbps(Duration::zero()), 0.0);
+}
+
+TEST(Counters, ResetClearsEverything) {
+  RunCounters rc(1);
+  rc.node(0).bits_delivered = 999;
+  rc.node(0).successes = 9;
+  rc.reset();
+  EXPECT_EQ(rc.total_bits_delivered(), 0);
+  EXPECT_EQ(rc.total_successes(), 0u);
+}
+
+TEST(Counters, CollisionRatio) {
+  NodeCounters n;
+  n.successes = 75;
+  n.failures = 25;
+  EXPECT_DOUBLE_EQ(n.collision_ratio(), 0.25);
+  NodeCounters empty;
+  EXPECT_DOUBLE_EQ(empty.collision_ratio(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// IdleSlotMeter. slot = 9us, difs = 34us throughout.
+
+struct MeterFixture : ::testing::Test {
+  IdleSlotMeter meter{Duration::microseconds(9), Duration::microseconds(34)};
+};
+
+TEST_F(MeterFixture, FirstBusyIsNotASample) {
+  meter.on_sensed_busy(Time::from_ns(500'000));
+  EXPECT_EQ(meter.samples(), 0u);
+}
+
+TEST_F(MeterFixture, GapMeasuredAfterDifs) {
+  meter.on_sensed_busy(Time::from_seconds(0.001));
+  meter.on_sensed_idle(Time::from_seconds(0.002));
+  // Busy again 34us + 3*9us later: 3 idle slots.
+  meter.on_sensed_busy(Time::from_seconds(0.002) +
+                       Duration::microseconds(34 + 27));
+  ASSERT_EQ(meter.samples(), 1u);
+  EXPECT_NEAR(meter.last_idle_slots(), 3.0, 1e-9);
+}
+
+TEST_F(MeterFixture, SifsGapIsSkipped) {
+  // Data frame, then ACK 16us later: same transmission, no sample.
+  meter.on_sensed_busy(Time::from_ns(0));
+  meter.on_sensed_idle(Time::from_ns(100'000));
+  meter.on_sensed_busy(Time::from_ns(116'000));  // +16us = SIFS
+  EXPECT_EQ(meter.samples(), 0u);
+}
+
+TEST_F(MeterFixture, OwnTransmissionCountsAsActivity) {
+  meter.on_sensed_busy(Time::from_ns(0));
+  meter.on_sensed_idle(Time::from_ns(100'000));
+  // Own transmission after DIFS + 2 slots.
+  const Time own_start = Time::from_ns(100'000) +
+                         Duration::microseconds(34 + 18);
+  meter.on_own_tx_start(own_start, Duration::microseconds(150));
+  ASSERT_EQ(meter.samples(), 1u);
+  EXPECT_NEAR(meter.last_idle_slots(), 2.0, 1e-9);
+  // Next observed busy measures from the END of our transmission.
+  const Time own_end = own_start + Duration::microseconds(150);
+  meter.on_sensed_busy(own_end + Duration::microseconds(34 + 9));
+  ASSERT_EQ(meter.samples(), 2u);
+  EXPECT_NEAR(meter.last_idle_slots(), 1.0, 1e-9);
+}
+
+TEST_F(MeterFixture, BusyDuringOwnTxMergesActivity) {
+  meter.on_own_tx_start(Time::from_ns(0), Duration::microseconds(100));
+  // Another transmission becomes audible mid-flight: no sample.
+  meter.on_sensed_busy(Time::from_ns(50'000));
+  EXPECT_EQ(meter.samples(), 0u);
+  meter.on_sensed_idle(Time::from_ns(200'000));
+  // Next busy after DIFS+9us from 200us: one idle slot.
+  meter.on_sensed_busy(Time::from_ns(200'000) + Duration::microseconds(43));
+  ASSERT_EQ(meter.samples(), 1u);
+  EXPECT_NEAR(meter.last_idle_slots(), 1.0, 1e-9);
+}
+
+TEST_F(MeterFixture, AverageAndCallback) {
+  double last_cb = -1.0;
+  meter.set_sample_callback([&](double s) { last_cb = s; });
+  meter.on_sensed_busy(Time::from_ns(0));
+  meter.on_sensed_idle(Time::from_ns(10'000));
+  meter.on_sensed_busy(Time::from_ns(10'000) + Duration::microseconds(34 + 9));
+  meter.on_sensed_idle(Time::from_ns(100'000));
+  meter.on_sensed_busy(Time::from_ns(100'000) +
+                       Duration::microseconds(34 + 27));
+  EXPECT_EQ(meter.samples(), 2u);
+  EXPECT_NEAR(meter.average_idle_slots(), 2.0, 1e-9);  // (1 + 3)/2
+  EXPECT_NEAR(last_cb, 3.0, 1e-9);
+}
+
+TEST_F(MeterFixture, ResetKeepsPhase) {
+  meter.on_sensed_busy(Time::from_ns(0));
+  meter.on_sensed_idle(Time::from_ns(10'000));
+  meter.on_sensed_busy(Time::from_ns(10'000) + Duration::microseconds(50));
+  EXPECT_EQ(meter.samples(), 1u);
+  meter.reset();
+  EXPECT_EQ(meter.samples(), 0u);
+  EXPECT_DOUBLE_EQ(meter.average_idle_slots(), 0.0);
+  // Still mid-busy; completing the cycle produces a fresh sample.
+  meter.on_sensed_idle(Time::from_ns(200'000));
+  meter.on_sensed_busy(Time::from_ns(200'000) + Duration::microseconds(43));
+  EXPECT_EQ(meter.samples(), 1u);
+}
+
+TEST_F(MeterFixture, RejectsBadConstruction) {
+  EXPECT_THROW(IdleSlotMeter(Duration::zero(), Duration::microseconds(34)),
+               std::invalid_argument);
+  EXPECT_THROW(IdleSlotMeter(Duration::microseconds(9),
+                             Duration::microseconds(-1)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fairness.
+
+TEST(Fairness, JainPerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jain_index({5, 5, 5, 5}), 1.0);
+}
+
+TEST(Fairness, JainWorstCase) {
+  // One user hogging everything: index = 1/n.
+  EXPECT_NEAR(jain_index({10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(Fairness, JainEdgeCases) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0, 0}), 1.0);
+}
+
+TEST(Fairness, WeightedJain) {
+  // Throughput exactly proportional to weights -> perfectly weighted-fair.
+  EXPECT_NEAR(weighted_jain_index({1, 2, 3}, {1, 2, 3}), 1.0, 1e-12);
+  EXPECT_LT(weighted_jain_index({3, 2, 1}, {1, 2, 3}), 1.0);
+}
+
+TEST(Fairness, NormalizedThroughput) {
+  const auto norm = normalized_throughput({2, 4, 9}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(norm[0], 2.0);
+  EXPECT_DOUBLE_EQ(norm[1], 2.0);
+  EXPECT_DOUBLE_EQ(norm[2], 3.0);
+}
+
+TEST(Fairness, MaxNormalizedDeviation) {
+  EXPECT_NEAR(max_normalized_deviation({1, 1, 1}, {1, 1, 1}), 0.0, 1e-12);
+  // norms = {1, 2} -> mean 1.5 -> max dev 0.5/1.5.
+  EXPECT_NEAR(max_normalized_deviation({1, 2}, {1, 1}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Fairness, Validation) {
+  EXPECT_THROW(normalized_throughput({1}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(normalized_throughput({1}, {0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeries.
+
+TEST(TimeSeries, AddAndQuery) {
+  TimeSeries ts("x");
+  ts.add(Time::from_seconds(1.0), 10.0);
+  ts.add(2.0, 20.0);
+  ts.add(3.0, 30.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.value_at(2.5), 20.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(99.0), 30.0);
+}
+
+TEST(TimeSeries, WindowMean) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.add(static_cast<double>(i), i * 1.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in_window(0.0, 10.0), 4.5);
+  EXPECT_DOUBLE_EQ(ts.mean_in_window(2.0, 4.0), 2.5);  // samples at 2, 3
+  EXPECT_DOUBLE_EQ(ts.mean_in_window(100.0, 200.0), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Unit tests for the simulation time types.
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using wlan::sim::Duration;
+using wlan::sim::Time;
+
+TEST(Duration, Constructors) {
+  EXPECT_EQ(Duration::nanoseconds(1500).ns(), 1500);
+  EXPECT_EQ(Duration::microseconds(9).ns(), 9000);
+  EXPECT_EQ(Duration::milliseconds(250).ns(), 250'000'000);
+  EXPECT_EQ(Duration::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Duration::zero().ns(), 0);
+}
+
+TEST(Duration, ConversionsRoundTrip) {
+  const auto d = Duration::microseconds(34);
+  EXPECT_DOUBLE_EQ(d.us(), 34.0);
+  EXPECT_DOUBLE_EQ(d.ms(), 0.034);
+  EXPECT_DOUBLE_EQ(d.s(), 34e-6);
+}
+
+TEST(Duration, Arithmetic) {
+  const auto a = Duration::microseconds(10);
+  const auto b = Duration::microseconds(4);
+  EXPECT_EQ((a + b).us(), 14.0);
+  EXPECT_EQ((a - b).us(), 6.0);
+  EXPECT_EQ((a * 3).us(), 30.0);
+  EXPECT_EQ((a / 2).us(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::microseconds(9), Duration::microseconds(16));
+  EXPECT_EQ(Duration::microseconds(1), Duration::nanoseconds(1000));
+  EXPECT_GE(Duration::seconds(1.0), Duration::milliseconds(1000));
+}
+
+TEST(Duration, ForBitsRoundsUp) {
+  // 8000 bits at 54 Mb/s = 148148.148.. ns -> must round UP.
+  const auto d = Duration::for_bits(8000, 54e6);
+  EXPECT_EQ(d.ns(), 148149);
+  // Exact division stays exact: 1000 bits at 1 Gb/s = 1000 ns.
+  EXPECT_EQ(Duration::for_bits(1000, 1e9).ns(), 1000);
+}
+
+TEST(Duration, SecondsRounding) {
+  EXPECT_EQ(Duration::seconds(1e-9).ns(), 1);
+  EXPECT_EQ(Duration::seconds(2.5e-9).ns(), 3);  // round half up
+}
+
+TEST(Time, Arithmetic) {
+  const Time t = Time::from_ns(1000);
+  EXPECT_EQ((t + Duration::nanoseconds(500)).ns(), 1500);
+  EXPECT_EQ((t - Duration::nanoseconds(500)).ns(), 500);
+  EXPECT_EQ((Time::from_ns(1500) - t).ns(), 500);
+}
+
+TEST(Time, FromSeconds) {
+  EXPECT_EQ(Time::from_seconds(2.0).ns(), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(Time::from_seconds(2.0).s(), 2.0);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::zero(), Time::from_ns(1));
+  EXPECT_LT(Time::from_seconds(100.0), Time::max());
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::zero();
+  t += Duration::microseconds(9);
+  t += Duration::microseconds(9);
+  EXPECT_EQ(t.ns(), 18000);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::zero();
+  d += Duration::microseconds(5);
+  d -= Duration::microseconds(2);
+  EXPECT_EQ(d.us(), 3.0);
+}
+
+}  // namespace

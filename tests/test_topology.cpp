@@ -1,0 +1,138 @@
+// Unit tests for placements and hidden-node analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/propagation.hpp"
+#include "topology/hidden.hpp"
+#include "topology/placement.hpp"
+
+namespace {
+
+using namespace wlan;
+using namespace wlan::topology;
+
+TEST(Placement, CircleEdgeDistancesExact) {
+  const auto layout = circle_edge(12, 8.0);
+  ASSERT_EQ(layout.stations.size(), 12u);
+  for (const auto& s : layout.stations)
+    EXPECT_NEAR(phy::distance(layout.ap, s), 8.0, 1e-12);
+}
+
+TEST(Placement, CircleEdgeEvenlySpaced) {
+  const auto layout = circle_edge(4, 1.0);
+  // Adjacent stations are 90 degrees apart -> chord length sqrt(2).
+  EXPECT_NEAR(phy::distance(layout.stations[0], layout.stations[1]),
+              std::sqrt(2.0), 1e-12);
+}
+
+TEST(Placement, CircleEdgeMaxPairDistanceWithinSensing) {
+  // The paper's connected setup: radius 8 -> max pair distance 16 < 24.
+  const auto layout = circle_edge(60, 8.0);
+  double max_d = 0.0;
+  for (const auto& a : layout.stations)
+    for (const auto& b : layout.stations)
+      max_d = std::max(max_d, phy::distance(a, b));
+  EXPECT_LE(max_d, 16.0 + 1e-9);
+}
+
+TEST(Placement, UniformDiscWithinRadius) {
+  const auto layout = uniform_disc(200, 16.0, /*seed=*/7);
+  for (const auto& s : layout.stations)
+    EXPECT_LE(phy::distance(layout.ap, s), 16.0 + 1e-12);
+}
+
+TEST(Placement, UniformDiscDeterministicPerSeed) {
+  const auto a = uniform_disc(10, 16.0, 7);
+  const auto b = uniform_disc(10, 16.0, 7);
+  const auto c = uniform_disc(10, 16.0, 8);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.stations[i], b.stations[i]);
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 10; ++i)
+    if (!(a.stations[i] == c.stations[i])) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Placement, UniformDiscAreaUniform) {
+  // Area-uniform sampling: ~1/4 of points fall within r/2.
+  const auto layout = uniform_disc(20000, 10.0, 3);
+  int inner = 0;
+  for (const auto& s : layout.stations)
+    if (phy::distance(layout.ap, s) <= 5.0) ++inner;
+  EXPECT_NEAR(inner / 20000.0, 0.25, 0.02);
+}
+
+TEST(Placement, RejectsNegativeCounts) {
+  EXPECT_THROW(circle_edge(-1, 8.0), std::invalid_argument);
+  EXPECT_THROW(uniform_disc(-1, 8.0, 1), std::invalid_argument);
+}
+
+TEST(Placement, ZeroStations) {
+  EXPECT_TRUE(circle_edge(0, 8.0).stations.empty());
+}
+
+TEST(Hidden, CircleEdgeRadius8IsFullyConnected) {
+  const auto layout = circle_edge(60, 8.0);
+  const phy::DiscPropagation prop(16.0, 24.0);
+  const auto report = analyze_hidden(layout, prop);
+  EXPECT_TRUE(report.fully_connected);
+  EXPECT_TRUE(report.hidden_pairs.empty());
+}
+
+TEST(Hidden, LargeDiscProducesHiddenPairs) {
+  // Radius 16 disc: pairs can be up to 32 apart > 24 sensing range.
+  int seeds_with_hidden = 0;
+  const phy::DiscPropagation prop(16.0, 24.0);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto layout = uniform_disc(20, 16.0, seed);
+    if (count_hidden_pairs(layout, prop) > 0) ++seeds_with_hidden;
+  }
+  EXPECT_GE(seeds_with_hidden, 8);  // hidden pairs are the norm, not rare
+}
+
+TEST(Hidden, Radius20MoreHiddenThanRadius16OnAverage) {
+  const phy::DiscPropagation prop(16.0, 24.0);
+  double sum16 = 0.0, sum20 = 0.0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sum16 += static_cast<double>(
+        count_hidden_pairs(uniform_disc(30, 16.0, seed), prop));
+    sum20 += static_cast<double>(
+        count_hidden_pairs(uniform_disc(30, 20.0, seed), prop));
+  }
+  EXPECT_GT(sum20, sum16);
+}
+
+TEST(Hidden, DegreeConsistentWithPairs) {
+  const phy::DiscPropagation prop(16.0, 24.0);
+  const auto layout = uniform_disc(25, 20.0, 5);
+  const auto report = analyze_hidden(layout, prop);
+  int degree_sum = 0;
+  for (int d : report.hidden_degree) degree_sum += d;
+  EXPECT_EQ(static_cast<std::size_t>(degree_sum),
+            2 * report.hidden_pairs.size());
+}
+
+TEST(Hidden, SensingMatrixSymmetricForDiscs) {
+  const phy::DiscPropagation prop(16.0, 24.0);
+  const auto layout = uniform_disc(15, 20.0, 9);
+  const auto m = sensing_matrix(layout, prop);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_FALSE(m[i][i]);
+    for (std::size_t j = 0; j < m.size(); ++j) EXPECT_EQ(m[i][j], m[j][i]);
+  }
+}
+
+TEST(Hidden, TwoStationConstructedPair) {
+  Layout layout;
+  layout.ap = {0, 0};
+  layout.stations = {{-16, 0}, {16, 0}};
+  const phy::DiscPropagation prop(16.0, 24.0);
+  const auto report = analyze_hidden(layout, prop);
+  ASSERT_EQ(report.hidden_pairs.size(), 1u);
+  EXPECT_EQ(report.hidden_pairs[0], (std::pair<int, int>{0, 1}));
+  EXPECT_FALSE(report.fully_connected);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Unit tests for CSV writing, table rendering, CLI parsing and env knobs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace wlan::util;
+
+TEST(Csv, EscapePlainCellUnchanged) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+}
+
+TEST(Csv, EscapeQuotesCommas) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = ::testing::TempDir() + "wlan_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.header({"x", "y"});
+    w.row({"1", "2"});
+    w.row_numeric({3.5, 4.25});
+    w.flush();
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "x,y\n1,2\n3.5,4.25\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"),
+               std::runtime_error);
+}
+
+TEST(FormatDouble, TrimsAndRounds) {
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(3.14159, 3), "3.14");
+  EXPECT_EQ(format_double(0.000123, 2), "0.00012");
+}
+
+TEST(FormatDouble, SpecialValues) {
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+  EXPECT_EQ(format_double(INFINITY), "inf");
+  EXPECT_EQ(format_double(-INFINITY), "-inf");
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "long_header"});
+  t.add_row({"xx", "1"});
+  const std::string out = t.to_string();
+  // Header line, separator, one row.
+  EXPECT_NE(out.find("a   long_header"), std::string::npos);
+  EXPECT_NE(out.find("xx  1"), std::string::npos);
+}
+
+TEST(Table, NumericRowHelper) {
+  Table t({"label", "v1", "v2"});
+  t.add_row("row", {1.23456, 7.0}, 3);
+  EXPECT_NE(t.to_string().find("1.23"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_cols(), 3u);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--nodes=20", "--rate=54.0"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("nodes", 0), 20);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 54.0);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--nodes", "30", "--name", "abc"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("nodes", 0), 30);
+  EXPECT_EQ(cli.get_string("name", ""), "abc");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("nodes", 42), 42);
+  EXPECT_FALSE(cli.has("nodes"));
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  Cli cli(2, argv);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, BooleanValues) {
+  const char* argv[] = {"prog", "--a=false", "--b=yes", "--c=0"};
+  Cli cli(4, argv);
+  EXPECT_FALSE(cli.get_bool("a", true));
+  EXPECT_TRUE(cli.get_bool("b", false));
+  EXPECT_FALSE(cli.get_bool("c", true));
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "pos1", "--flag=1", "pos2"};
+  Cli cli(4, argv);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.positional()[1], "pos2");
+}
+
+TEST(Cli, ThrowsOnMalformedNumbers) {
+  const char* argv[] = {"prog", "--nodes=abc"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("nodes", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_double("nodes", 0), std::invalid_argument);
+}
+
+TEST(Env, ReadsValues) {
+  ::setenv("WLAN_TEST_ENV_D", "2.5", 1);
+  ::setenv("WLAN_TEST_ENV_I", "7", 1);
+  ::setenv("WLAN_TEST_ENV_B", "true", 1);
+  EXPECT_DOUBLE_EQ(env_double("WLAN_TEST_ENV_D", 0.0), 2.5);
+  EXPECT_EQ(env_int("WLAN_TEST_ENV_I", 0), 7);
+  EXPECT_TRUE(env_bool("WLAN_TEST_ENV_B", false));
+  ::unsetenv("WLAN_TEST_ENV_D");
+  ::unsetenv("WLAN_TEST_ENV_I");
+  ::unsetenv("WLAN_TEST_ENV_B");
+}
+
+TEST(Env, FallsBackWhenUnsetOrBad) {
+  ::unsetenv("WLAN_TEST_ENV_X");
+  EXPECT_DOUBLE_EQ(env_double("WLAN_TEST_ENV_X", 1.5), 1.5);
+  ::setenv("WLAN_TEST_ENV_X", "not_a_number", 1);
+  EXPECT_EQ(env_int("WLAN_TEST_ENV_X", 9), 9);
+  ::unsetenv("WLAN_TEST_ENV_X");
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Unit tests for WifiParams: Table I values and derived timings.
+#include "mac/wifi_params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using wlan::mac::WifiParams;
+using wlan::sim::Duration;
+
+TEST(WifiParams, TableIDefaults) {
+  const WifiParams p;
+  EXPECT_DOUBLE_EQ(p.data_rate_bps, 54e6);
+  EXPECT_EQ(p.payload_bits, 8000);
+  EXPECT_EQ(p.cw_min, 8);
+  EXPECT_EQ(p.cw_max, 1024);
+  EXPECT_EQ(p.slot, Duration::microseconds(9));
+  EXPECT_EQ(p.sifs, Duration::microseconds(16));
+  EXPECT_EQ(p.difs, Duration::microseconds(34));
+}
+
+TEST(WifiParams, NumBackoffStages) {
+  // m = log2(1024/8) = 7, giving stages 0..7 (the paper's TORA remark uses
+  // CWmin = 8, m = 7).
+  EXPECT_EQ(WifiParams().num_backoff_stages(), 7);
+  WifiParams p;
+  p.cw_min = 16;
+  p.cw_max = 16;
+  EXPECT_EQ(p.num_backoff_stages(), 0);
+  p.cw_min = 2;
+  p.cw_max = 64;
+  EXPECT_EQ(p.num_backoff_stages(), 5);
+}
+
+TEST(WifiParams, CwAtStage) {
+  const WifiParams p;
+  EXPECT_EQ(p.cw_at_stage(0), 8);
+  EXPECT_EQ(p.cw_at_stage(1), 16);
+  EXPECT_EQ(p.cw_at_stage(7), 1024);
+  EXPECT_EQ(p.cw_at_stage(20), 1024);  // clamped at CWmax
+}
+
+TEST(WifiParams, DataAirtime) {
+  const WifiParams p;  // ns3_like: 20us preamble
+  // (272 + 8000) bits / 54 Mb/s = 153.19 us (rounded up) + 20 us preamble.
+  const auto expected = Duration::microseconds(20) +
+                        Duration::for_bits(8272, 54e6);
+  EXPECT_EQ(p.data_airtime(), expected);
+  EXPECT_NEAR(p.data_airtime().us(), 173.2, 0.1);
+}
+
+TEST(WifiParams, AckAirtime) {
+  const WifiParams p;
+  // 112 bits at 6 Mb/s = 18.67us + 20us preamble.
+  EXPECT_NEAR(p.ack_airtime().us(), 38.7, 0.1);
+}
+
+TEST(WifiParams, SuccessAndCollisionDurations) {
+  const WifiParams p;
+  EXPECT_EQ(p.success_duration(),
+            p.data_airtime() + p.sifs + p.ack_airtime() + p.difs);
+  // ns3-like default: collisions cost EIFS, not DIFS (what the simulator's
+  // bystanders actually wait). EIFS = SIFS + ACK + DIFS makes Tc == Ts.
+  EXPECT_EQ(p.collision_duration(), p.data_airtime() + p.eifs());
+  EXPECT_GE(p.success_duration(), p.collision_duration());
+}
+
+TEST(WifiParams, Eifs) {
+  const WifiParams p;
+  EXPECT_EQ(p.eifs(), p.sifs + p.ack_airtime() + p.difs);
+  EXPECT_GT(p.eifs(), p.difs);
+}
+
+TEST(WifiParams, StarValuesInSlotUnits) {
+  const WifiParams p;
+  EXPECT_NEAR(p.ts_star(), p.success_duration().us() / 9.0, 1e-9);
+  EXPECT_NEAR(p.tc_star(), p.collision_duration().us() / 9.0, 1e-9);
+  EXPECT_GT(p.tc_star(), 1.0);  // collisions cost much more than idle slots
+}
+
+TEST(WifiParams, PaperTimingVariant) {
+  const auto p = WifiParams::paper_timing();
+  EXPECT_EQ(p.preamble, Duration::zero());
+  EXPECT_DOUBLE_EQ(p.control_rate_bps, p.data_rate_bps);
+  // Ts = (LH+EP)/R + SIFS + LACK/R + DIFS per Section II.
+  const auto ts = Duration::for_bits(8272, 54e6) + p.sifs +
+                  Duration::for_bits(112, 54e6) + p.difs;
+  EXPECT_EQ(p.success_duration(), ts);
+  // ...and the paper's Tc = (LH+EP)/R + DIFS (no EIFS in the model).
+  EXPECT_EQ(p.collision_duration(), p.data_airtime() + p.difs);
+}
+
+TEST(WifiParams, AckTimeoutCoversAck) {
+  const WifiParams p;
+  EXPECT_GT(p.ack_timeout_after_tx_start(),
+            p.data_airtime() + p.sifs + p.ack_airtime());
+}
+
+}  // namespace
