@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs every figure/table/ablation bench binary and collects the CSVs they
+# emit under <build-dir>/results/.
+#
+# Usage:
+#   bench/run_all.sh [build-dir]          # default build-dir: ./build
+#   WLAN_BENCH_FAST=1 bench/run_all.sh    # smoke run (trimmed sweeps)
+#
+# Effort knobs (read by the binaries themselves, see src/util/env.hpp):
+#   WLAN_BENCH_SECONDS  multiplier on simulated seconds per data point
+#   WLAN_BENCH_SEEDS    independent seeds averaged per point
+#   WLAN_BENCH_FAST     truthy => trimmed sweep for smoke runs
+set -euo pipefail
+
+build_dir="$(cd "${1:-build}" && pwd)"
+results_dir="${build_dir}/results"
+mkdir -p "${results_dir}"
+cd "${results_dir}"
+
+shopt -s nullglob
+benches=("${build_dir}"/bench_*)
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench_* binaries in ${build_dir};" \
+       "configure with -DWLAN_BUILD_BENCH=ON and build first" >&2
+  exit 1
+fi
+
+failed=()
+for bin in "${benches[@]}"; do
+  [[ -x ${bin} && ! -d ${bin} ]] || continue
+  name="$(basename "${bin}")"
+  echo "==> ${name}"
+  if [[ ${name} == bench_micro_substrate ]]; then
+    # google-benchmark driver: emits JSON instead of a CSV.
+    "${bin}" --benchmark_out="${results_dir}/micro_substrate.json" \
+             --benchmark_out_format=json || failed+=("${name}")
+  else
+    "${bin}" || failed+=("${name}")
+  fi
+  echo
+done
+
+echo "CSV/JSON outputs in ${results_dir}:"
+ls -1 "${results_dir}"
+
+if [[ ${#failed[@]} -gt 0 ]]; then
+  echo "FAILED: ${failed[*]}" >&2
+  exit 1
+fi

@@ -52,8 +52,11 @@ INSTANTIATE_TEST_SUITE_P(
                       SimVsModelCase{20, 0.015}, SimVsModelCase{40, 0.008},
                       SimVsModelCase{40, 0.02}),
     [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_p" +
-             std::to_string(static_cast<int>(info.param.p * 1000));
+      std::string name = "n";
+      name += std::to_string(info.param.n);
+      name += "_p";
+      name += std::to_string(static_cast<int>(info.param.p * 1000));
+      return name;
     });
 
 // ---------------------------------------------------------------------------
