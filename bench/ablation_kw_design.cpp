@@ -40,8 +40,9 @@ double run_variant(const Variant& v, int n, std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Ablation: KW design choices",
                 "wTOP-CSMA from pval=0.5 on connected stations; each row "
                 "disables one guard (see DESIGN.md deviations). N=40 "

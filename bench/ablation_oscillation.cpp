@@ -16,8 +16,9 @@
 #include "bench_common.hpp"
 #include "stats/convergence.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Ablation: oscillation cost (Section VI.B)",
                 "Settled throughput jitter of wTOP vs TORA under perpetual "
                 "KW probing, plus the closed-form curvature that predicts it");

@@ -10,8 +10,9 @@
 // level — reproducing the paper's qualitative U-shape.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Ablation: UPDATE_PERIOD",
                 "wTOP-CSMA on 20 connected stations; fixed 40 s adaptation "
                 "budget, varying measurement-segment length");

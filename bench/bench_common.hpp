@@ -4,7 +4,8 @@
 // paper's figure or table reports, and (c) writes a CSV into the working
 // directory so the curve can be re-plotted. Durations scale with WLAN_BENCH_SECONDS
 // (a multiplier), seeds with WLAN_BENCH_SEEDS, and WLAN_BENCH_FAST trims
-// the sweep for smoke runs.
+// the sweep for smoke runs. Simulation grids fan out across the global
+// par::ThreadPool; `--threads N` (or WLAN_THREADS) bounds the lanes.
 #pragma once
 
 #include <cstdio>
@@ -13,16 +14,36 @@
 #include <vector>
 
 #include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "par/thread_pool.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
 
 namespace wlan::bench {
 
+/// Standard driver startup: parse flags (currently just `--threads N`) and
+/// size the global pool before the first sweep builds it.
+inline util::Cli init(int argc, const char* const* argv) {
+  util::Cli cli(argc, argv);
+  par::ThreadPool::configure_global(cli.threads(0));
+  return cli;
+}
+
 inline void header(const std::string& id, const std::string& what) {
   std::printf("=== %s ===\n%s\n", id.c_str(), what.c_str());
   std::printf("(scale with WLAN_BENCH_SECONDS / WLAN_BENCH_SEEDS; "
-              "WLAN_BENCH_FAST=1 for a smoke run)\n\n");
+              "WLAN_BENCH_FAST=1 for a smoke run; --threads N or "
+              "WLAN_THREADS bound the sweep parallelism)\n\n");
+}
+
+/// Inclusive float grid {lo, lo+step, ...} up to hi (with the 1e-9
+/// accumulation slack every figure sweep uses for its params axis).
+inline std::vector<double> arange(double lo, double hi, double step) {
+  std::vector<double> grid;
+  for (double v = lo; v <= hi + 1e-9; v += step) grid.push_back(v);
+  return grid;
 }
 
 /// Node-count grid used by Figs. 1, 3, 6, 7 (10..60 in the paper).

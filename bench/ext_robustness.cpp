@@ -4,8 +4,9 @@
 // Model-based IdleSense is shown for contrast.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Extension: PHY robustness",
                 "wTOP/TORA/IdleSense under channel errors, capture, and "
                 "obstacle shadowing; 20 stations");

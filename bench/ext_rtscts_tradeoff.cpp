@@ -7,8 +7,9 @@
 // BASIC access (the paper's proposal) beats turning RTS/CTS on.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Extension: RTS/CTS trade-off (Section I)",
                 "Basic vs RTS/CTS access, connected and hidden (disc r=16), "
                 "standard 802.11 and TORA-CSMA");

@@ -5,8 +5,9 @@
 // with hidden nodes IdleSense drops BELOW standard 802.11.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Figure 1",
                 "IdleSense vs Standard 802.11, connected (circle r=8) vs "
                 "hidden (disc r=16), Table I PHY");

@@ -4,15 +4,17 @@
 // Paper shape: bell (strictly quasi-concave) curves peaking in the low 20s
 // of Mb/s; the 40-node peak sits at a smaller p than the 20-node peak.
 // This bench prints the closed-form curve (eq. 3) densely and cross-checks
-// a handful of points against the event-driven simulator.
+// a handful of points against the event-driven simulator; the simulated
+// points run as one declarative sweep across the thread pool.
 #include <cmath>
 
 #include "analysis/ppersistent.hpp"
 #include "analysis/quasiconcave.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Figure 2",
                 "p-persistent throughput vs log(p), 20/40 nodes, connected "
                 "(analytic eq. 3 + simulator cross-check)");
@@ -25,9 +27,31 @@ int main() {
               "sim_n40_mbps"});
 
   const auto sim_opts = bench::fixed_options();
-  std::vector<double> curve20, curve40;
   const double step = util::bench_fast() ? 1.0 : 0.5;
-  for (double logp = -10.0; logp <= -2.0 + 1e-9; logp += step) {
+
+  // The dense model grid, and the every-other subset that is cross-checked
+  // in simulation (kept sparse to bound runtime).
+  const std::vector<double> grid = bench::arange(-10.0, -2.0, step);
+  std::vector<double> simulated;
+  for (const double logp : grid)
+    if (std::fmod(std::abs(logp), 2.0 * step) < 1e-9) simulated.push_back(logp);
+
+  // One declarative sweep: {20, 40} nodes × simulated log(p) points.
+  exp::SweepSpec spec;
+  spec.scenarios = {exp::ScenarioConfig::connected(20, 1),
+                    exp::ScenarioConfig::connected(40, 1)};
+  spec.schemes = {exp::SchemeConfig::standard()};  // rewritten by bind
+  spec.params = simulated;
+  spec.bind = [](double logp, exp::ScenarioConfig&, exp::SchemeConfig& sch) {
+    sch = exp::SchemeConfig::fixed_p_persistent(std::exp(logp));
+  };
+  spec.options = sim_opts;
+  spec.keep_runs = false;
+  const auto sweep = exp::run_sweep(spec);
+
+  std::vector<double> curve20, curve40;
+  std::size_t sim_idx = 0;
+  for (const double logp : grid) {
     const double p = std::exp(logp);
     std::vector<double> w20(20, 1.0), w40(40, 1.0);
     const double m20 =
@@ -37,18 +61,13 @@ int main() {
     curve20.push_back(m20);
     curve40.push_back(m40);
 
-    // Simulate every other grid point to keep runtime modest.
+    const bool simulate =
+        sim_idx < simulated.size() && simulated[sim_idx] == logp;
     double s20 = NAN, s40 = NAN;
-    const bool simulate = std::fmod(std::abs(logp), 2.0 * step) < 1e-9;
     if (simulate) {
-      s20 = exp::run_scenario(exp::ScenarioConfig::connected(20, 1),
-                              exp::SchemeConfig::fixed_p_persistent(p),
-                              sim_opts)
-                .total_mbps;
-      s40 = exp::run_scenario(exp::ScenarioConfig::connected(40, 1),
-                              exp::SchemeConfig::fixed_p_persistent(p),
-                              sim_opts)
-                .total_mbps;
+      s20 = sweep.at(0, 0, sim_idx).averaged.mean_mbps;
+      s40 = sweep.at(1, 0, sim_idx).averaged.mean_mbps;
+      ++sim_idx;
     }
     table.add_row(util::format_double(logp, 3),
                   {m20, m40, simulate ? s20 : NAN, simulate ? s40 : NAN});

@@ -6,8 +6,9 @@
 #include "analysis/ppersistent.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Figure 3",
                 "Scheme comparison vs number of stations, fully connected "
                 "(circle r=8), Table I PHY");

@@ -3,14 +3,16 @@
 // scenarios each).
 //
 // Paper shape: still bell-shaped (quasi-concave) — the evidence that lets
-// Kiefer-Wolfowitz tuning work without a model (Section V).
+// Kiefer-Wolfowitz tuning work without a model (Section V). The whole
+// 4-curve × log(p) grid runs as one declarative sweep on the thread pool.
 #include <cmath>
 
 #include "analysis/quasiconcave.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Figure 4",
                 "p-persistent throughput vs log(p) with hidden nodes "
                 "(disc r=16), 20/40 nodes, two scenarios (seeds)");
@@ -24,26 +26,35 @@ int main() {
 
   const auto opts = bench::fixed_options();
   const double step = util::bench_fast() ? 1.4 : 0.7;
+  const std::vector<double> grid = bench::arange(-9.1, -1.4, step);
+
+  // One sweep: 4 hidden-node scenarios × the log(p) grid.
+  exp::SweepSpec spec;
+  for (const auto& c : curves)
+    spec.scenarios.push_back(exp::ScenarioConfig::hidden(c.n, 16.0, c.seed));
+  spec.schemes = {exp::SchemeConfig::standard()};  // rewritten by bind
+  spec.params = grid;
+  spec.bind = [](double logp, exp::ScenarioConfig&, exp::SchemeConfig& sch) {
+    sch = exp::SchemeConfig::fixed_p_persistent(std::exp(logp));
+  };
+  spec.options = opts;
+  spec.keep_runs = false;
+  const auto sweep = exp::run_sweep(spec);
 
   util::Table table({"log(p)", "20 nodes s1", "40 nodes s1", "20 nodes s2",
                      "40 nodes s2"});
   util::CsvWriter csv("fig04_ppersistent_hidden_curve.csv");
   csv.header({"log_p", "n20_seed1", "n40_seed1", "n20_seed2", "n40_seed2"});
 
-  for (double logp = -9.1; logp <= -1.4 + 1e-9; logp += step) {
-    const double p = std::exp(logp);
+  for (std::size_t pi = 0; pi < grid.size(); ++pi) {
     std::vector<double> row;
-    for (auto& c : curves) {
-      const auto scenario = exp::ScenarioConfig::hidden(c.n, 16.0, c.seed);
-      const double mbps =
-          exp::run_scenario(scenario, exp::SchemeConfig::fixed_p_persistent(p),
-                            opts)
-              .total_mbps;
-      c.ys.push_back(mbps);
+    for (std::size_t c = 0; c < curves.size(); ++c) {
+      const double mbps = sweep.at(c, 0, pi).averaged.mean_mbps;
+      curves[c].ys.push_back(mbps);
       row.push_back(mbps);
     }
-    table.add_row(util::format_double(logp, 3), row);
-    csv.row_numeric({logp, row[0], row[1], row[2], row[3]});
+    table.add_row(util::format_double(grid[pi], 3), row);
+    csv.row_numeric({grid[pi], row[0], row[1], row[2], row[3]});
   }
 
   table.print(std::cout);

@@ -5,8 +5,9 @@
 // behind, IdleSense far below.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Figure 6",
                 "Scheme comparison vs number of stations, uniform disc "
                 "radius 16 m (hidden nodes), Table I PHY");

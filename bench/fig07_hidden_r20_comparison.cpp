@@ -2,8 +2,9 @@
 // disc of radius 20 m (more hidden pairs than Fig. 6).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Figure 7",
                 "Scheme comparison vs number of stations, uniform disc "
                 "radius 20 m (more hidden pairs), Table I PHY");

@@ -9,8 +9,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Figures 8-9",
                 "wTOP-CSMA dynamics: N steps 10 -> 40 -> 20 -> 60 over the "
                 "run; throughput and -log(p) vs time");

@@ -3,8 +3,9 @@
 // vs time; both for a connected and a hidden-node topology.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Figures 10-11",
                 "TORA-CSMA dynamics: N steps 10 -> 40 -> 20 -> 60 over the "
                 "run; throughput and p0 (+ backoff stage j) vs time");

@@ -11,8 +11,9 @@
 #include "analysis/randomreset.hpp"
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Figure 12",
                 "Fixed point: tau_c(p0; j=0) vs c, plus c(tau) coupling; "
                 "N=10, m=5, CWmin=2");

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Runs every figure/table/ablation bench binary and collects the CSVs they
-# emit under <build-dir>/results/.
+# Runs every figure/table/ablation bench binary — up to WLAN_BENCH_JOBS of
+# them in parallel (they are independent processes) — and collects each
+# driver's CSV/JSON plus its console log under
+# <build-dir>/results/<driver>/.
 #
 # Usage:
 #   bench/run_all.sh [build-dir]          # default build-dir: ./build
@@ -10,12 +12,23 @@
 #   WLAN_BENCH_SECONDS  multiplier on simulated seconds per data point
 #   WLAN_BENCH_SEEDS    independent seeds averaged per point
 #   WLAN_BENCH_FAST     truthy => trimmed sweep for smoke runs
+#   WLAN_THREADS        in-process sweep lanes per driver (default 1 here:
+#                       the script already parallelizes across drivers)
+#   WLAN_BENCH_JOBS     concurrent driver processes (default: nproc)
 set -euo pipefail
 
 build_dir="$(cd "${1:-build}" && pwd)"
 results_dir="${build_dir}/results"
 mkdir -p "${results_dir}"
-cd "${results_dir}"
+
+default_jobs="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+jobs="${WLAN_BENCH_JOBS:-${default_jobs}}"
+[[ ${jobs} =~ ^[0-9]+$ && ${jobs} -ge 1 ]] || jobs=1
+
+# This script already fans out across driver processes; unless the caller
+# asked otherwise, keep each driver's in-process sweep serial so a default
+# run uses ~nproc threads total instead of jobs x lanes.
+export WLAN_THREADS="${WLAN_THREADS:-1}"
 
 shopt -s nullglob
 benches=("${build_dir}"/bench_*)
@@ -25,24 +38,57 @@ if [[ ${#benches[@]} -eq 0 ]]; then
   exit 1
 fi
 
-failed=()
-for bin in "${benches[@]}"; do
-  [[ -x ${bin} && ! -d ${bin} ]] || continue
+# One driver: run it inside its own results/<driver>/ directory so the CSV
+# it writes to the CWD lands there, tee the console output to driver.log,
+# and leave a .failed marker for the final tally.
+run_one() {
+  local bin="$1" name out
   name="$(basename "${bin}")"
-  echo "==> ${name}"
+  out="${results_dir}/${name#bench_}"
+  mkdir -p "${out}"
+  rm -f "${out}/.failed"
   if [[ ${name} == bench_micro_substrate ]]; then
     # google-benchmark driver: emits JSON instead of a CSV.
-    "${bin}" --benchmark_out="${results_dir}/micro_substrate.json" \
-             --benchmark_out_format=json || failed+=("${name}")
+    (cd "${out}" && "${bin}" --benchmark_out="${out}/micro_substrate.json" \
+                             --benchmark_out_format=json) \
+        > "${out}/driver.log" 2>&1 || touch "${out}/.failed"
   else
-    "${bin}" || failed+=("${name}")
+    (cd "${out}" && "${bin}") > "${out}/driver.log" 2>&1 \
+        || touch "${out}/.failed"
   fi
-  echo
-done
+  if [[ -e "${out}/.failed" ]]; then
+    echo "<== ${name} FAILED (log: ${out}/driver.log)"
+  else
+    echo "<== ${name} done"
+  fi
+}
 
-echo "CSV/JSON outputs in ${results_dir}:"
+# Drop failure markers from previous invocations (a driver that no longer
+# runs must not fail this run's tally).
+rm -f "${results_dir}"/*/.failed
+
+echo "Running ${#benches[@]} drivers, ${jobs} at a time ..."
+for bin in "${benches[@]}"; do
+  [[ -x ${bin} && ! -d ${bin} ]] || continue
+  while (( $(jobs -rp | wc -l) >= jobs )); do
+    # `wait -n` needs bash >= 4.3; elsewhere fall back to a short sleep.
+    # Failures are tallied via .failed markers, not exit statuses.
+    wait -n 2>/dev/null || sleep 0.2
+  done
+  echo "==> $(basename "${bin}")"
+  run_one "${bin}" &
+done
+wait || true
+
+echo
+echo "Per-driver outputs in ${results_dir}/<driver>/:"
 ls -1 "${results_dir}"
 
+failed=()
+for marker in "${results_dir}"/*/.failed; do
+  [[ -e ${marker} ]] || continue
+  failed+=("$(basename "$(dirname "${marker}")")")
+done
 if [[ ${#failed[@]} -gt 0 ]]; then
   echo "FAILED: ${failed[*]}" >&2
   exit 1

@@ -3,13 +3,15 @@
 // throughput and normalized throughput (throughput / weight).
 //
 // Paper shape: normalized throughput ~equal across stations (~1.06 Mb/s)
-// and total ~22.4 Mb/s.
+// and total ~22.4 Mb/s. Runs through the sweep engine (a 1×1 grid) so the
+// driver shares the declarative path with the figure sweeps.
 #include "analysis/ppersistent.hpp"
 #include "bench_common.hpp"
 #include "stats/fairness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Table II",
                 "wTOP-CSMA weighted fair allocation; 10 stations, weights "
                 "(1,1,1,2,2,2,3,3,3,3), fully connected");
@@ -23,7 +25,8 @@ int main() {
   opts.warmup = sim::Duration::seconds(25.0 * s);
   opts.measure = sim::Duration::seconds(25.0 * s);
 
-  const auto result = exp::run_scenario(scenario, scheme, opts);
+  const auto sweep = exp::run_sweep(exp::SweepSpec::single(scenario, scheme, opts));
+  const exp::RunResult& result = sweep.at(0).runs[0];
   const auto norm =
       stats::normalized_throughput(result.per_station_mbps, scheme.weights);
 

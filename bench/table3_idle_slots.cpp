@@ -7,10 +7,13 @@
 // throughput collapses; wTOP's converged idle slots vary widely by scenario
 // (4.9 / 10.0 / 25.1) while its throughput stays much higher — evidence
 // that no fixed idle-slot target can be optimal under hidden nodes.
+//
+// The 3-scenario × 2-scheme grid runs as one sweep on the thread pool.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
+  bench::init(argc, argv);
   bench::header("Table III",
                 "Average idle slots + throughput, IdleSense vs wTOP-CSMA, "
                 "40 stations, connected vs two hidden scenarios");
@@ -18,15 +21,18 @@ int main() {
   const auto opts = bench::adaptive_options();
   const int n = 40;
 
-  struct Row {
-    const char* label;
-    exp::ScenarioConfig scenario;
-  };
-  const std::vector<Row> rows{
-      {"Without hidden nodes", exp::ScenarioConfig::connected(n, 1)},
-      {"With hidden nodes (case 1)", exp::ScenarioConfig::hidden(n, 16.0, 1)},
-      {"With hidden nodes (case 2)", exp::ScenarioConfig::hidden(n, 16.0, 2)},
-  };
+  const std::vector<const char*> labels{
+      "Without hidden nodes", "With hidden nodes (case 1)",
+      "With hidden nodes (case 2)"};
+
+  exp::SweepSpec spec;
+  spec.scenarios = {exp::ScenarioConfig::connected(n, 1),
+                    exp::ScenarioConfig::hidden(n, 16.0, 1),
+                    exp::ScenarioConfig::hidden(n, 16.0, 2)};
+  spec.schemes = {exp::SchemeConfig::idle_sense_scheme(),
+                  exp::SchemeConfig::wtop_csma()};
+  spec.options = opts;
+  const auto sweep = exp::run_sweep(spec);
 
   util::Table is_table({"IdleSense", "Avg idle slots", "Throughput (Mbps)"});
   util::Table wtop_table({"wTOP-CSMA", "Avg idle slots", "Throughput (Mbps)"});
@@ -34,18 +40,16 @@ int main() {
   csv.header({"scenario", "scheme", "avg_idle_slots", "throughput_mbps",
               "hidden_pairs"});
 
-  for (const auto& row : rows) {
-    const auto is = exp::run_scenario(
-        row.scenario, exp::SchemeConfig::idle_sense_scheme(), opts);
-    const auto wtop =
-        exp::run_scenario(row.scenario, exp::SchemeConfig::wtop_csma(), opts);
-    is_table.add_row(row.label, {is.ap_avg_idle_slots, is.total_mbps});
-    wtop_table.add_row(row.label, {wtop.ap_avg_idle_slots, wtop.total_mbps});
-    csv.row({row.label, "IdleSense",
+  for (std::size_t row = 0; row < labels.size(); ++row) {
+    const exp::RunResult& is = sweep.at(row, 0).runs[0];
+    const exp::RunResult& wtop = sweep.at(row, 1).runs[0];
+    is_table.add_row(labels[row], {is.ap_avg_idle_slots, is.total_mbps});
+    wtop_table.add_row(labels[row], {wtop.ap_avg_idle_slots, wtop.total_mbps});
+    csv.row({labels[row], "IdleSense",
              util::format_double(is.ap_avg_idle_slots, 6),
              util::format_double(is.total_mbps, 6),
              std::to_string(is.hidden_pairs)});
-    csv.row({row.label, "wTOP-CSMA",
+    csv.row({labels[row], "wTOP-CSMA",
              util::format_double(wtop.ap_avg_idle_slots, 6),
              util::format_double(wtop.total_mbps, 6),
              std::to_string(wtop.hidden_pairs)});

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "exp/sweep.hpp"
 #include "topology/hidden.hpp"
 
 namespace wlan::exp {
@@ -118,30 +119,13 @@ RunResult run_scenario(const ScenarioConfig& scenario,
 AveragedResult run_averaged(const ScenarioConfig& scenario,
                             const SchemeConfig& scheme, int seeds,
                             const RunOptions& options) {
-  AveragedResult avg;
-  if (seeds < 1) return avg;
-  double sum = 0.0, idle_sum = 0.0, hidden_sum = 0.0;
-  double lo = 0.0, hi = 0.0;
-  for (int s = 0; s < seeds; ++s) {
-    ScenarioConfig sc = scenario;
-    sc.seed = scenario.seed + static_cast<std::uint64_t>(s);
-    const RunResult r = run_scenario(sc, scheme, options);
-    sum += r.total_mbps;
-    idle_sum += r.ap_avg_idle_slots;
-    hidden_sum += static_cast<double>(r.hidden_pairs);
-    if (s == 0) {
-      lo = hi = r.total_mbps;
-    } else {
-      lo = std::min(lo, r.total_mbps);
-      hi = std::max(hi, r.total_mbps);
-    }
-  }
-  avg.mean_mbps = sum / seeds;
-  avg.min_mbps = lo;
-  avg.max_mbps = hi;
-  avg.mean_idle_slots = idle_sum / seeds;
-  avg.mean_hidden_pairs = hidden_sum / seeds;
-  return avg;
+  if (seeds < 1) return {};
+  // Seed-level parallelism: one sweep point whose seed axis fans out
+  // across the global thread pool. The fold in run_sweep reproduces the
+  // historical serial arithmetic bit-for-bit.
+  SweepSpec spec = SweepSpec::single(scenario, scheme, options, seeds);
+  spec.keep_runs = false;
+  return run_sweep(spec).points[0].averaged;
 }
 
 RunResult run_dynamic(const ScenarioConfig& scenario,

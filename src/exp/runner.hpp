@@ -54,7 +54,9 @@ RunResult run_scenario(const ScenarioConfig& scenario,
                        const RunOptions& options = {});
 
 /// Averages total_mbps (and idle slots / fairness inputs) over `seeds`
-/// seeds: scenario.seed, scenario.seed+1, ...
+/// seeds: scenario.seed, scenario.seed+1, ... The seed runs fan out across
+/// the global par::ThreadPool (WLAN_THREADS lanes) via exp::run_sweep; the
+/// result is bit-identical to a serial loop for any thread count.
 struct AveragedResult {
   double mean_mbps = 0.0;
   double min_mbps = 0.0;

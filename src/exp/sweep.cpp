@@ -1,0 +1,139 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "par/thread_pool.hpp"
+
+namespace wlan::exp {
+
+SweepSpec SweepSpec::single(const ScenarioConfig& scenario,
+                            const SchemeConfig& scheme,
+                            const RunOptions& options, int seeds) {
+  SweepSpec spec;
+  spec.scenarios = {scenario};
+  spec.schemes = {scheme};
+  spec.options = options;
+  spec.seeds = seeds;
+  return spec;
+}
+
+std::vector<SweepJob> expand(const SweepSpec& spec) {
+  if (spec.scenarios.empty())
+    throw std::invalid_argument("SweepSpec: scenarios axis is empty");
+  if (spec.schemes.empty())
+    throw std::invalid_argument("SweepSpec: schemes axis is empty");
+  if (spec.seeds < 1)
+    throw std::invalid_argument("SweepSpec: seeds must be >= 1");
+  if (!spec.params.empty() && !spec.bind)
+    throw std::invalid_argument("SweepSpec: params axis needs a bind");
+
+  const std::size_t num_params = spec.params.empty() ? 1 : spec.params.size();
+  std::vector<SweepJob> jobs;
+  jobs.reserve(spec.scenarios.size() * spec.schemes.size() * num_params *
+               static_cast<std::size_t>(spec.seeds));
+  std::size_t point = 0;
+  for (const auto& scenario : spec.scenarios) {
+    for (const auto& scheme : spec.schemes) {
+      for (std::size_t pi = 0; pi < num_params; ++pi, ++point) {
+        ScenarioConfig bound_scenario = scenario;
+        SchemeConfig bound_scheme = scheme;
+        if (!spec.params.empty())
+          spec.bind(spec.params[pi], bound_scenario, bound_scheme);
+        for (int s = 0; s < spec.seeds; ++s) {
+          SweepJob job;
+          job.point_index = point;
+          job.seed_index = s;
+          job.scenario = bound_scenario;
+          job.scenario.seed =
+              bound_scenario.seed + static_cast<std::uint64_t>(s);
+          job.scheme = bound_scheme;
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+namespace {
+
+/// Seed-axis fold, same arithmetic and order as the historical serial
+/// run_averaged loop so sweep output stays bit-identical to it.
+AveragedResult fold_seeds(const std::vector<RunResult>& runs) {
+  AveragedResult avg;
+  if (runs.empty()) return avg;
+  double sum = 0.0, idle_sum = 0.0, hidden_sum = 0.0;
+  double lo = 0.0, hi = 0.0;
+  for (std::size_t s = 0; s < runs.size(); ++s) {
+    const RunResult& r = runs[s];
+    sum += r.total_mbps;
+    idle_sum += r.ap_avg_idle_slots;
+    hidden_sum += static_cast<double>(r.hidden_pairs);
+    if (s == 0) {
+      lo = hi = r.total_mbps;
+    } else {
+      lo = std::min(lo, r.total_mbps);
+      hi = std::max(hi, r.total_mbps);
+    }
+  }
+  const auto n = static_cast<double>(runs.size());
+  avg.mean_mbps = sum / n;
+  avg.min_mbps = lo;
+  avg.max_mbps = hi;
+  avg.mean_idle_slots = idle_sum / n;
+  avg.mean_hidden_pairs = hidden_sum / n;
+  return avg;
+}
+
+}  // namespace
+
+const SweepPoint& SweepResult::at(std::size_t scenario, std::size_t scheme,
+                                  std::size_t param) const {
+  if (scenario >= num_scenarios || scheme >= num_schemes ||
+      param >= num_params)
+    throw std::out_of_range("SweepResult::at: index outside the grid");
+  return points[(scenario * num_schemes + scheme) * num_params + param];
+}
+
+SweepResult run_sweep(const SweepSpec& spec, par::ThreadPool* pool) {
+  const std::vector<SweepJob> jobs = expand(spec);
+  if (pool == nullptr) pool = &par::ThreadPool::global();
+
+  // Every job is an independent Simulator instance with its own RNG
+  // streams; fan out and collect by job index.
+  std::vector<RunResult> raw = pool->parallel_map<RunResult>(
+      jobs.size(), [&jobs, &spec](std::size_t i) {
+        return run_scenario(jobs[i].scenario, jobs[i].scheme, spec.options);
+      });
+
+  SweepResult result;
+  result.num_scenarios = spec.scenarios.size();
+  result.num_schemes = spec.schemes.size();
+  result.num_params = spec.params.empty() ? 1 : spec.params.size();
+  const std::size_t num_points =
+      result.num_scenarios * result.num_schemes * result.num_params;
+  result.points.resize(num_points);
+
+  const auto seeds = static_cast<std::size_t>(spec.seeds);
+  for (std::size_t point = 0; point < num_points; ++point) {
+    SweepPoint& out = result.points[point];
+    out.param_index = point % result.num_params;
+    out.scheme_index = (point / result.num_params) % result.num_schemes;
+    out.scenario_index = point / (result.num_params * result.num_schemes);
+    out.param = spec.params.empty()
+                    ? std::numeric_limits<double>::quiet_NaN()
+                    : spec.params[out.param_index];
+    // Jobs for this point are contiguous and in seed order.
+    const auto first = raw.begin() + static_cast<std::ptrdiff_t>(point * seeds);
+    std::vector<RunResult> runs(
+        std::make_move_iterator(first),
+        std::make_move_iterator(first + static_cast<std::ptrdiff_t>(seeds)));
+    out.averaged = fold_seeds(runs);
+    if (spec.keep_runs) out.runs = std::move(runs);
+  }
+  return result;
+}
+
+}  // namespace wlan::exp

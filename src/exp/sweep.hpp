@@ -1,0 +1,95 @@
+// Declarative sweep engine: describe a grid of (scenario, scheme, swept
+// parameter, seed) once, and `run_sweep` expands it into independent
+// simulation jobs, fans them across the par::ThreadPool, and merges the
+// results in job-index order — so parallel output is bit-identical to a
+// serial loop over the same grid.
+//
+// Axes, outermost to innermost (row-major expansion order):
+//   scenarios × schemes × params × seeds
+// The seed axis runs scenario.seed, scenario.seed + 1, ... like
+// run_averaged always has. The params axis is an optional free dimension
+// (attempt probability, reset probability, ...) applied to each point by a
+// user-supplied `bind` callback before the job is built.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace wlan::par {
+class ThreadPool;
+}
+
+namespace wlan::exp {
+
+struct SweepSpec {
+  /// Axis 1: scenario per grid row. Must be non-empty.
+  std::vector<ScenarioConfig> scenarios;
+  /// Axis 2: scheme per grid column. Must be non-empty.
+  std::vector<SchemeConfig> schemes;
+  /// Axis 3 (optional): free swept parameter, applied via `bind`.
+  std::vector<double> params;
+  /// Rewrites a (scenario, scheme) pair for one value of the params axis.
+  /// Required exactly when `params` is non-empty.
+  std::function<void(double value, ScenarioConfig&, SchemeConfig&)> bind;
+  /// Axis 4 (innermost): seeds averaged per grid point; the s-th run uses
+  /// scenario.seed + s. Must be >= 1.
+  int seeds = 1;
+  /// Options forwarded to every run_scenario call.
+  RunOptions options;
+  /// Keep the per-seed RunResults in each SweepPoint (per-station
+  /// throughput, series, ...). Averages are always computed.
+  bool keep_runs = true;
+
+  /// One-point spec: a single (scenario, scheme) pair averaged over seeds.
+  static SweepSpec single(const ScenarioConfig& scenario,
+                          const SchemeConfig& scheme,
+                          const RunOptions& options = {}, int seeds = 1);
+};
+
+/// One fully bound simulation job from the expanded grid.
+struct SweepJob {
+  std::size_t point_index = 0;  // row-major over scenarios×schemes×params
+  int seed_index = 0;           // position on the seed axis
+  ScenarioConfig scenario;      // seed offset already applied
+  SchemeConfig scheme;
+};
+
+/// Expands the grid into jobs in deterministic row-major order. Throws
+/// std::invalid_argument on an ill-formed spec (empty axis, seeds < 1,
+/// params without bind).
+std::vector<SweepJob> expand(const SweepSpec& spec);
+
+/// Results for one grid point, folded over the seed axis in seed order
+/// with the same arithmetic as run_averaged.
+struct SweepPoint {
+  std::size_t scenario_index = 0;
+  std::size_t scheme_index = 0;
+  std::size_t param_index = 0;
+  /// The bound params-axis value; NaN when the spec had no params axis.
+  double param = 0.0;
+  AveragedResult averaged;
+  /// Per-seed results in seed order; empty unless spec.keep_runs.
+  std::vector<RunResult> runs;
+};
+
+struct SweepResult {
+  std::size_t num_scenarios = 0;
+  std::size_t num_schemes = 0;
+  std::size_t num_params = 0;  // 1 when the spec had no params axis
+  /// Row-major over scenarios×schemes×params.
+  std::vector<SweepPoint> points;
+
+  const SweepPoint& at(std::size_t scenario, std::size_t scheme = 0,
+                       std::size_t param = 0) const;
+};
+
+/// Runs every job in the expanded grid on `pool` (default: the process
+/// global pool) and merges per-point in job-index order. Output is
+/// bit-identical for any thread count, including 1.
+SweepResult run_sweep(const SweepSpec& spec,
+                      par::ThreadPool* pool = nullptr);
+
+}  // namespace wlan::exp

@@ -1,0 +1,172 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/env.hpp"
+
+namespace wlan::par {
+
+namespace {
+
+/// True while the current thread is executing a lane of some pool's
+/// parallel_for; nested calls then run inline instead of re-entering the
+/// shared job slot (which would deadlock or corrupt a running dispatch).
+thread_local bool t_in_lane = false;
+
+struct LaneGuard {
+  // Saves/restores rather than clearing: a nested inline parallel_for must
+  // not strip the flag from the enclosing lane when it returns.
+  bool prev = t_in_lane;
+  LaneGuard() { t_in_lane = true; }
+  ~LaneGuard() { t_in_lane = prev; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  lanes_ = threads <= 0 ? default_thread_count() : threads;
+  errors_.assign(static_cast<std::size_t>(lanes_), nullptr);
+  workers_.reserve(static_cast<std::size_t>(lanes_ - 1));
+  for (int lane = 1; lane < lanes_; ++lane)
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::block_of(
+    int lane, std::size_t n) const {
+  const auto lanes = static_cast<std::size_t>(lanes_);
+  const auto l = static_cast<std::size_t>(lane);
+  const std::size_t base = n / lanes;
+  const std::size_t extra = n % lanes;
+  const std::size_t first = l * base + std::min(l, extra);
+  const std::size_t size = base + (l < extra ? 1 : 0);
+  return {first, first + size};
+}
+
+void ThreadPool::run_lane(int lane, std::size_t n,
+                          const std::function<void(std::size_t)>& fn,
+                          std::exception_ptr& error) {
+  const auto [first, last] = block_of(lane, n);
+  LaneGuard guard;
+  for (std::size_t i = first; i < last; ++i) {
+    try {
+      fn(i);
+    } catch (...) {
+      // First failure in this (ascending) block; skip the rest of the
+      // block like a serial loop would.
+      error = std::current_exception();
+      return;
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || t_in_lane) {
+    // Inline path: single lane, nested call, or trivial job. Exceptions
+    // propagate directly, which is exactly "first in index order".
+    LaneGuard guard;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (busy_) {
+    // Another thread is mid-dispatch on this pool (e.g. two sweeps share
+    // global()). The job slot is single-occupancy; degrade to inline
+    // rather than corrupt the running dispatch.
+    lock.unlock();
+    LaneGuard guard;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  busy_ = true;
+  job_fn_ = &fn;
+  job_n_ = n;
+  errors_.assign(static_cast<std::size_t>(lanes_), nullptr);
+  remaining_ = lanes_ - 1;
+  ++generation_;
+  lock.unlock();
+  start_cv_.notify_all();
+
+  run_lane(0, n, fn, errors_[0]);
+
+  lock.lock();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_fn_ = nullptr;
+  job_n_ = 0;
+  busy_ = false;
+  // Lowest lane = lowest index block: deterministic choice of which
+  // failure the caller sees.
+  for (auto& e : errors_)
+    if (e) {
+      std::exception_ptr err = e;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+}
+
+void ThreadPool::worker_loop(int lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&, this] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_fn_;
+      n = job_n_;
+    }
+    std::exception_ptr error;
+    run_lane(lane, n, *fn, error);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      errors_[static_cast<std::size_t>(lane)] = error;
+      --remaining_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+int ThreadPool::default_thread_count() {
+  const int env = util::env_threads();
+  if (env > 0) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(0);
+  return *slot;
+}
+
+void ThreadPool::configure_global(int threads) {
+  if (threads <= 0) return;
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  global_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace wlan::par

@@ -1,0 +1,102 @@
+// Deterministic fork-join thread pool for embarrassingly parallel sweeps.
+//
+// Design constraints (see docs/ARCHITECTURE.md, "src/par/"):
+//  - NO work stealing: `parallel_for(n, fn)` statically partitions [0, n)
+//    into one contiguous, ascending block per lane, so which lane runs
+//    which index is a pure function of (n, thread_count()). Results merged
+//    in index order are therefore bit-identical to a serial loop.
+//  - Fixed worker count chosen at construction; lane 0 is the calling
+//    thread, lanes 1..W-1 are persistent workers parked on a condition
+//    variable between calls.
+//  - Exceptions thrown by `fn` are captured per lane and the one from the
+//    lowest lane (= lowest index block) is rethrown on the caller, so a
+//    failing sweep fails the same way regardless of thread count.
+//  - Nested `parallel_for` calls (from inside `fn`) run inline on the
+//    current lane instead of deadlocking on the shared job slot.
+//
+// Thread count resolution: an explicit `--threads N` CLI override >
+// `WLAN_THREADS` env > std::thread::hardware_concurrency().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace wlan::par {
+
+class ThreadPool {
+ public:
+  /// `threads` is the number of lanes (caller included). <= 0 resolves to
+  /// default_thread_count(); 1 means no worker threads (pure inline).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of lanes (>= 1).
+  int thread_count() const { return lanes_; }
+
+  /// Calls `fn(i)` exactly once for every i in [0, n), fanned across the
+  /// lanes in contiguous index blocks. Blocks until every index ran (or a
+  /// lane failed); rethrows the captured exception from the lowest lane.
+  /// Safe to call from multiple threads: the worker lanes serve one
+  /// dispatch at a time and any overlapping caller runs its range inline.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// `parallel_for` that collects `fn(i)` into a vector indexed by i, so
+  /// the merged output order never depends on the thread count.
+  template <typename T, typename Fn>
+  std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+    std::vector<T> out(n);
+    parallel_for(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// The contiguous index block lane `lane` covers in a call over n
+  /// indices: [first, last). Blocks are ascending in lane order and their
+  /// sizes differ by at most one. Exposed for tests.
+  std::pair<std::size_t, std::size_t> block_of(int lane, std::size_t n) const;
+
+  /// WLAN_THREADS when set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency() (>= 1).
+  static int default_thread_count();
+
+  /// Process-wide pool shared by run_sweep and the bench drivers; built on
+  /// first use with default_thread_count() lanes.
+  static ThreadPool& global();
+
+  /// Rebuilds the global pool with `threads` lanes (<= 0 keeps it as-is);
+  /// for `--threads` CLI overrides. Must not race with a running sweep.
+  static void configure_global(int threads);
+
+ private:
+  void worker_loop(int lane);
+  /// Runs `fn` over this lane's block, capturing the first exception.
+  void run_lane(int lane, std::size_t n,
+                const std::function<void(std::size_t)>& fn,
+                std::exception_ptr& error);
+
+  int lanes_ = 1;
+  std::vector<std::thread> workers_;  // lanes_ - 1 threads
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  // bumped per parallel_for to wake workers
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_n_ = 0;
+  int remaining_ = 0;  // workers still running the current generation
+  bool busy_ = false;  // a dispatch is in flight (single-occupancy slot)
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;  // one slot per lane
+};
+
+}  // namespace wlan::par

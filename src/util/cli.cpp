@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/env.hpp"
+
 namespace wlan::util {
 
 Cli::Cli(int argc, const char* const* argv) {
@@ -67,6 +69,17 @@ bool Cli::get_bool(const std::string& name, bool fallback) const {
   if (v == "0" || v == "false" || v == "no" || v == "off") return false;
   throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
                               v + "'");
+}
+
+int Cli::threads(int fallback) const {
+  if (has("threads")) {
+    const auto v = get_int("threads", 0);
+    if (v < 0)
+      throw std::invalid_argument("flag --threads expects a count >= 0");
+    return static_cast<int>(v);
+  }
+  const int env = env_threads();
+  return env > 0 ? env : fallback;
 }
 
 std::vector<std::string> Cli::flag_names() const {

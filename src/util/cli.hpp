@@ -29,6 +29,11 @@ class Cli {
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 
+  /// The `--threads N` flag shared by every executable that sweeps:
+  /// returns N when given, else the WLAN_THREADS env value, else
+  /// `fallback` (0 = let par::ThreadPool pick hardware concurrency).
+  int threads(int fallback = 0) const;
+
   /// Positional arguments (everything not starting with `--`).
   const std::vector<std::string>& positional() const { return positional_; }
 

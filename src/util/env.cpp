@@ -40,4 +40,9 @@ int bench_seeds(int fallback) {
 
 bool bench_fast() { return env_bool("WLAN_BENCH_FAST", false); }
 
+int env_threads() {
+  const auto v = env_int("WLAN_THREADS", 0);
+  return v > 0 ? static_cast<int>(v) : 0;
+}
+
 }  // namespace wlan::util

@@ -4,6 +4,9 @@
 //                      bench; this multiplies the default).
 // WLAN_BENCH_SEEDS   — number of independent seeds averaged per point.
 // WLAN_BENCH_FAST    — if set truthy, benches shrink sweeps for smoke runs.
+// WLAN_THREADS       — lanes in the global par::ThreadPool used by
+//                      exp::run_sweep / run_averaged (0/unset = hardware
+//                      concurrency). A `--threads N` CLI flag wins over it.
 #pragma once
 
 #include <cstdint>
@@ -30,5 +33,9 @@ int bench_seeds(int fallback);
 
 /// True when WLAN_BENCH_FAST requests a reduced smoke-test sweep.
 bool bench_fast();
+
+/// Requested parallelism (WLAN_THREADS); 0 when unset or non-positive,
+/// meaning "auto" (par::ThreadPool falls back to hardware concurrency).
+int env_threads();
 
 }  // namespace wlan::util

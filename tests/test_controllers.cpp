@@ -2,8 +2,11 @@
 // synthetic packet streams — no simulator involved.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/tora_csma.hpp"
 #include "core/wtop_csma.hpp"
+#include "par/thread_pool.hpp"
 
 namespace {
 
@@ -157,6 +160,26 @@ TEST(ToraController, Validation) {
   bad.delta_low = 0.9;
   bad.delta_high = 0.1;
   EXPECT_THROW(ToraCsmaController(params, bad), std::invalid_argument);
+}
+
+TEST(WTopController, IndependentControllersAreIsolatedAcrossPoolLanes) {
+  // Controllers driven on thread-pool lanes (as run_sweep does with whole
+  // simulations) must land exactly where serially driven twins land.
+  auto drive = [](int packets_per_segment) {
+    WTopCsmaController c;
+    for (int seg = 0; seg < 4; ++seg)
+      feed_packets(c, Time::from_seconds(0.25 * seg),
+                   Duration::milliseconds(250), packets_per_segment);
+    return c.estimate();
+  };
+  const std::vector<int> loads{10, 50, 100, 200, 300, 400};
+  std::vector<double> serial;
+  for (const int load : loads) serial.push_back(drive(load));
+
+  wlan::par::ThreadPool pool(4);
+  const auto parallel = pool.parallel_map<double>(
+      loads.size(), [&](std::size_t i) { return drive(loads[i]); });
+  EXPECT_EQ(parallel, serial);
 }
 
 TEST(ToraController, RecordsHistories) {

@@ -1,8 +1,11 @@
 // Tests of the experiment layer: scenario/scheme builders, the runner's
 // measurement bookkeeping, seed averaging, and dynamic population schedules.
+// Repeated-run tests go through exp::run_sweep so their independent
+// simulations fan out across the thread pool.
 #include <gtest/gtest.h>
 
 #include "exp/runner.hpp"
+#include "exp/sweep.hpp"
 
 namespace {
 
@@ -82,13 +85,17 @@ TEST(Runner, MeasurementExcludesWarmup) {
 
 TEST(Runner, DeterministicForSameConfig) {
   const auto scenario = ScenarioConfig::connected(5, 42);
-  RunOptions opts;
-  opts.warmup = sim::Duration::seconds(0.5);
-  opts.measure = sim::Duration::seconds(2.0);
-  const auto a =
-      run_scenario(scenario, SchemeConfig::fixed_p_persistent(0.05), opts);
-  const auto b =
-      run_scenario(scenario, SchemeConfig::fixed_p_persistent(0.05), opts);
+  // Two identical grid rows fan out as concurrent jobs: equal results
+  // prove both run-to-run determinism and isolation between parallel
+  // Simulator instances.
+  SweepSpec spec;
+  spec.scenarios = {scenario, scenario};
+  spec.schemes = {SchemeConfig::fixed_p_persistent(0.05)};
+  spec.options.warmup = sim::Duration::seconds(0.5);
+  spec.options.measure = sim::Duration::seconds(2.0);
+  const auto result = run_sweep(spec);
+  const auto& a = result.at(0).runs[0];
+  const auto& b = result.at(1).runs[0];
   EXPECT_DOUBLE_EQ(a.total_mbps, b.total_mbps);
 }
 
@@ -124,6 +131,7 @@ TEST(Runner, AveragedRunsSpanSeeds) {
   RunOptions opts;
   opts.warmup = sim::Duration::seconds(0.5);
   opts.measure = sim::Duration::seconds(2.0);
+  // run_averaged is sweep-backed: the three seeds run as parallel jobs.
   const auto avg =
       run_averaged(scenario, SchemeConfig::standard(), /*seeds=*/3, opts);
   EXPECT_GT(avg.mean_mbps, 0.0);

@@ -8,6 +8,7 @@
 #include "analysis/ppersistent.hpp"
 #include "analysis/randomreset.hpp"
 #include "exp/runner.hpp"
+#include "exp/sweep.hpp"
 #include "stats/fairness.hpp"
 
 namespace {
@@ -65,17 +66,22 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(SimVsModelRandomReset, FixedPointPredictsSimThroughput) {
   const int n = 15;
   auto scenario = ScenarioConfig::connected(n, 3);
-  RunOptions opts;
-  opts.warmup = sim::Duration::seconds(1.0);
-  opts.measure = sim::Duration::seconds(10.0);
-  for (const auto& [j, p0] : std::vector<std::pair<int, double>>{
-           {0, 1.0}, {2, 0.5}, {4, 0.8}}) {
-    const auto result =
-        run_scenario(scenario, SchemeConfig::fixed_random_reset(j, p0), opts);
+  const std::vector<std::pair<int, double>> grid{{0, 1.0}, {2, 0.5}, {4, 0.8}};
+  // The (j, p0) grid runs as a scheme-axis sweep across the thread pool.
+  SweepSpec spec;
+  spec.scenarios = {scenario};
+  for (const auto& [j, p0] : grid)
+    spec.schemes.push_back(SchemeConfig::fixed_random_reset(j, p0));
+  spec.options.warmup = sim::Duration::seconds(1.0);
+  spec.options.measure = sim::Duration::seconds(10.0);
+  spec.keep_runs = false;
+  const auto result = run_sweep(spec);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& [j, p0] = grid[i];
     const double model_mbps =
         analysis::random_reset_throughput(j, p0, n, scenario.phy) / 1e6;
     // The decoupling approximation plus MAC details: 12% tolerance.
-    EXPECT_NEAR(result.total_mbps / model_mbps, 1.0, 0.12)
+    EXPECT_NEAR(result.at(0, i).averaged.mean_mbps / model_mbps, 1.0, 0.12)
         << "j=" << j << " p0=" << p0;
   }
 }

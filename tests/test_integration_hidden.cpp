@@ -1,7 +1,9 @@
 // Integration tests with hidden nodes: the phenomena of Section I/V-VI.
 // Deterministic seeds keep these reproducible; the assertions target the
 // paper's qualitative claims (orderings, quasi-concavity, idle-slot drift),
-// not absolute numbers.
+// not absolute numbers. Multi-run tests are phrased as exp::run_sweep
+// grids so the independent simulations fan out across the thread pool —
+// they remain bit-identical to the serial loops they replaced.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -9,6 +11,7 @@
 
 #include "analysis/quasiconcave.hpp"
 #include "exp/runner.hpp"
+#include "exp/sweep.hpp"
 #include "mac/network.hpp"
 
 namespace {
@@ -38,12 +41,15 @@ TEST(HiddenIntegration, IdleSenseCollapsesWithHiddenNodes) {
   const auto hidden = ScenarioConfig::hidden(n, 16.0, 1);
   const auto opts = fast_opts();
 
-  const auto is_conn =
-      run_scenario(connected, SchemeConfig::idle_sense_scheme(), opts);
-  const auto std_conn = run_scenario(connected, SchemeConfig::standard(), opts);
-  const auto is_hidden =
-      run_scenario(hidden, SchemeConfig::idle_sense_scheme(), opts);
-  const auto std_hidden = run_scenario(hidden, SchemeConfig::standard(), opts);
+  SweepSpec spec;
+  spec.scenarios = {connected, hidden};
+  spec.schemes = {SchemeConfig::idle_sense_scheme(), SchemeConfig::standard()};
+  spec.options = opts;
+  const auto result = run_sweep(spec);
+  const auto& is_conn = result.at(0, 0).runs[0];
+  const auto& std_conn = result.at(0, 1).runs[0];
+  const auto& is_hidden = result.at(1, 0).runs[0];
+  const auto& std_hidden = result.at(1, 1).runs[0];
 
   EXPECT_GT(is_conn.total_mbps, std_conn.total_mbps);
   EXPECT_LT(is_hidden.total_mbps, std_hidden.total_mbps);
@@ -51,28 +57,29 @@ TEST(HiddenIntegration, IdleSenseCollapsesWithHiddenNodes) {
 
 TEST(HiddenIntegration, ToraBeatsWTopWithHiddenNodes) {
   // Figs. 6-7: the exponential-backoff scheme outperforms the optimal
-  // p-persistent scheme when hidden nodes exist.
-  double tora_sum = 0.0, wtop_sum = 0.0;
-  for (std::uint64_t seed : {1, 2, 3}) {
-    const auto scenario = ScenarioConfig::hidden(20, 16.0, seed);
-    const auto opts = fast_opts(15.0, 10.0);
-    tora_sum +=
-        run_scenario(scenario, SchemeConfig::tora_csma(), opts).total_mbps;
-    wtop_sum +=
-        run_scenario(scenario, SchemeConfig::wtop_csma(), opts).total_mbps;
-  }
-  EXPECT_GT(tora_sum, wtop_sum);
+  // p-persistent scheme when hidden nodes exist. The seed axis covers the
+  // same scenarios (seeds 1, 2, 3) the serial loop used.
+  SweepSpec spec = SweepSpec::single(ScenarioConfig::hidden(20, 16.0, 1),
+                                     SchemeConfig::tora_csma(),
+                                     fast_opts(15.0, 10.0), /*seeds=*/3);
+  spec.schemes = {SchemeConfig::tora_csma(), SchemeConfig::wtop_csma()};
+  spec.keep_runs = false;
+  const auto result = run_sweep(spec);
+  EXPECT_GT(result.at(0, 0).averaged.mean_mbps,
+            result.at(0, 1).averaged.mean_mbps);
 }
 
 TEST(HiddenIntegration, AdaptiveSchemesBeatIdleSenseWithHiddenNodes) {
-  const auto scenario = ScenarioConfig::hidden(20, 16.0, 2);
-  const auto opts = fast_opts(15.0, 10.0);
-  const auto idle =
-      run_scenario(scenario, SchemeConfig::idle_sense_scheme(), opts);
-  const auto wtop = run_scenario(scenario, SchemeConfig::wtop_csma(), opts);
-  const auto tora = run_scenario(scenario, SchemeConfig::tora_csma(), opts);
-  EXPECT_GT(wtop.total_mbps, idle.total_mbps);
-  EXPECT_GT(tora.total_mbps, idle.total_mbps);
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::hidden(20, 16.0, 2)};
+  spec.schemes = {SchemeConfig::idle_sense_scheme(), SchemeConfig::wtop_csma(),
+                  SchemeConfig::tora_csma()};
+  spec.options = fast_opts(15.0, 10.0);
+  spec.keep_runs = false;
+  const auto result = run_sweep(spec);
+  const double idle = result.at(0, 0).averaged.mean_mbps;
+  EXPECT_GT(result.at(0, 1).averaged.mean_mbps, idle);
+  EXPECT_GT(result.at(0, 2).averaged.mean_mbps, idle);
 }
 
 TEST(HiddenIntegration, WTopIdleSlotsDependOnConfiguration) {
@@ -80,47 +87,60 @@ TEST(HiddenIntegration, WTopIdleSlotsDependOnConfiguration) {
   // and hidden configurations (so no fixed IdleSense target can be right),
   // while IdleSense pins its observable near the same value in both.
   const int n = 20;
-  const auto opts = fast_opts(15.0, 10.0);
-  const auto wtop_conn = run_scenario(ScenarioConfig::connected(n, 1),
-                                      SchemeConfig::wtop_csma(), opts);
-  const auto wtop_hidden = run_scenario(ScenarioConfig::hidden(n, 16.0, 1),
-                                        SchemeConfig::wtop_csma(), opts);
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::connected(n, 1),
+                    ScenarioConfig::hidden(n, 16.0, 1)};
+  spec.schemes = {SchemeConfig::wtop_csma(),
+                  SchemeConfig::idle_sense_scheme()};
+  spec.options = fast_opts(15.0, 10.0);
+  const auto result = run_sweep(spec);
+  const auto& wtop_conn = result.at(0, 0).runs[0];
+  const auto& wtop_hidden = result.at(1, 0).runs[0];
   EXPECT_GT(wtop_hidden.ap_avg_idle_slots,
             1.5 * wtop_conn.ap_avg_idle_slots);
 
-  const auto is_conn = run_scenario(ScenarioConfig::connected(n, 1),
-                                    SchemeConfig::idle_sense_scheme(), opts);
-  const auto is_hidden = run_scenario(ScenarioConfig::hidden(n, 16.0, 1),
-                                      SchemeConfig::idle_sense_scheme(), opts);
+  const auto& is_conn = result.at(0, 1).runs[0];
+  const auto& is_hidden = result.at(1, 1).runs[0];
   EXPECT_NEAR(is_hidden.ap_avg_idle_slots / is_conn.ap_avg_idle_slots, 1.0,
               0.5);
 }
 
 TEST(HiddenIntegration, ThroughputQuasiConcaveInPWithHiddenNodes) {
   // Fig. 4 (coarse): measured throughput vs p on a hidden topology is
-  // unimodal within noise tolerance.
-  const auto scenario = ScenarioConfig::hidden(15, 16.0, 3);
+  // unimodal within noise tolerance. The log(p) grid is a params axis.
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::hidden(15, 16.0, 3)};
+  spec.schemes = {SchemeConfig::standard()};  // rewritten by bind
+  for (double logp = -7.0; logp <= -0.7; logp += 0.7)
+    spec.params.push_back(logp);
+  spec.bind = [](double logp, ScenarioConfig&, SchemeConfig& sch) {
+    sch = SchemeConfig::fixed_p_persistent(std::exp(logp));
+  };
+  spec.options = fast_opts(1.0, 4.0);
+  spec.keep_runs = false;
+  const auto result = run_sweep(spec);
   std::vector<double> ys;
-  for (double logp = -7.0; logp <= -0.7; logp += 0.7) {
-    const auto r = run_scenario(
-        scenario, SchemeConfig::fixed_p_persistent(std::exp(logp)),
-        fast_opts(1.0, 4.0));
-    ys.push_back(r.total_mbps);
-  }
+  for (const auto& point : result.points)
+    ys.push_back(point.averaged.mean_mbps);
   const auto report = analysis::check_unimodal(ys, 0.10);
   EXPECT_TRUE(report.unimodal) << "violation=" << report.max_violation;
 }
 
 TEST(HiddenIntegration, ThroughputQuasiConcaveInP0WithHiddenNodes) {
   // Fig. 5 (coarse): throughput vs p0 for RandomReset(0; p0).
-  const auto scenario = ScenarioConfig::hidden(15, 16.0, 3);
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::hidden(15, 16.0, 3)};
+  spec.schemes = {SchemeConfig::standard()};  // rewritten by bind
+  for (double p0 = 0.0; p0 <= 1.001; p0 += 0.2) spec.params.push_back(p0);
+  spec.bind = [](double p0, ScenarioConfig&, SchemeConfig& sch) {
+    sch = SchemeConfig::fixed_random_reset(0, p0);
+  };
+  spec.options = fast_opts(1.0, 4.0);
+  spec.keep_runs = false;
+  const auto result = run_sweep(spec);
   std::vector<double> ys;
-  for (double p0 = 0.0; p0 <= 1.001; p0 += 0.2) {
-    const auto r =
-        run_scenario(scenario, SchemeConfig::fixed_random_reset(0, p0),
-                     fast_opts(1.0, 4.0));
-    ys.push_back(r.total_mbps);
-  }
+  for (const auto& point : result.points)
+    ys.push_back(point.averaged.mean_mbps);
   const auto report = analysis::check_unimodal(ys, 0.10);
   EXPECT_TRUE(report.unimodal) << "violation=" << report.max_violation;
 }

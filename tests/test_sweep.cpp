@@ -1,0 +1,191 @@
+// Tests of the declarative sweep engine: grid expansion order, param
+// binding, result indexing, and the core guarantee that a parallel
+// run_sweep is bit-identical to the serial seed loop it replaced.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "exp/sweep.hpp"
+#include "par/thread_pool.hpp"
+
+namespace {
+
+using namespace wlan;
+using namespace wlan::exp;
+
+RunOptions quick_options() {
+  RunOptions opts;
+  opts.warmup = sim::Duration::seconds(0.2);
+  opts.measure = sim::Duration::seconds(1.0);
+  return opts;
+}
+
+TEST(Sweep, ExpandIsRowMajorWithSeedsInnermost) {
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::connected(5, 10),
+                    ScenarioConfig::connected(7, 20)};
+  spec.schemes = {SchemeConfig::standard(),
+                  SchemeConfig::fixed_p_persistent(0.05)};
+  spec.params = {0.1, 0.2, 0.3};
+  spec.bind = [](double, ScenarioConfig&, SchemeConfig&) {};
+  spec.seeds = 2;
+  const auto jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 2u * 2u * 3u * 2u);
+
+  // Seeds vary fastest: consecutive jobs share a point index.
+  EXPECT_EQ(jobs[0].point_index, 0u);
+  EXPECT_EQ(jobs[0].seed_index, 0);
+  EXPECT_EQ(jobs[0].scenario.seed, 10u);
+  EXPECT_EQ(jobs[1].point_index, 0u);
+  EXPECT_EQ(jobs[1].seed_index, 1);
+  EXPECT_EQ(jobs[1].scenario.seed, 11u);
+  // Then params, then schemes, then scenarios (row-major).
+  EXPECT_EQ(jobs[2].point_index, 1u);
+  EXPECT_EQ(jobs[6].scheme.kind, SchemeKind::kFixedPPersistent);
+  const auto& last = jobs.back();
+  EXPECT_EQ(last.point_index, 11u);
+  EXPECT_EQ(last.scenario.num_stations, 7);
+  EXPECT_EQ(last.scenario.seed, 21u);
+}
+
+TEST(Sweep, BindAppliesTheParamAxis) {
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::connected(5, 1)};
+  spec.schemes = {SchemeConfig::standard()};
+  spec.params = {0.01, 0.04};
+  spec.bind = [](double p, ScenarioConfig&, SchemeConfig& sch) {
+    sch = SchemeConfig::fixed_p_persistent(p);
+  };
+  const auto jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].scheme.kind, SchemeKind::kFixedPPersistent);
+  EXPECT_DOUBLE_EQ(jobs[0].scheme.fixed_p, 0.01);
+  EXPECT_DOUBLE_EQ(jobs[1].scheme.fixed_p, 0.04);
+}
+
+TEST(Sweep, RejectsIllFormedSpecs) {
+  SweepSpec spec;
+  EXPECT_THROW(expand(spec), std::invalid_argument);  // no scenarios
+  spec.scenarios = {ScenarioConfig::connected(5, 1)};
+  EXPECT_THROW(expand(spec), std::invalid_argument);  // no schemes
+  spec.schemes = {SchemeConfig::standard()};
+  spec.seeds = 0;
+  EXPECT_THROW(expand(spec), std::invalid_argument);  // seeds < 1
+  spec.seeds = 1;
+  spec.params = {0.5};
+  EXPECT_THROW(expand(spec), std::invalid_argument);  // params without bind
+}
+
+TEST(Sweep, ParallelResultBitIdenticalToSerialSeedLoop) {
+  const auto scenario = ScenarioConfig::hidden(8, 16.0, 1);
+  const auto scheme = SchemeConfig::standard();
+  const auto opts = quick_options();
+  const int seeds = 3;
+
+  // The historical serial loop: run each seed in order, fold by hand.
+  double sum = 0.0, idle_sum = 0.0, hidden_sum = 0.0, lo = 0.0, hi = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    ScenarioConfig sc = scenario;
+    sc.seed = scenario.seed + static_cast<std::uint64_t>(s);
+    const RunResult r = run_scenario(sc, scheme, opts);
+    sum += r.total_mbps;
+    idle_sum += r.ap_avg_idle_slots;
+    hidden_sum += static_cast<double>(r.hidden_pairs);
+    if (s == 0) {
+      lo = hi = r.total_mbps;
+    } else {
+      lo = std::min(lo, r.total_mbps);
+      hi = std::max(hi, r.total_mbps);
+    }
+  }
+
+  SweepSpec spec = SweepSpec::single(scenario, scheme, opts, seeds);
+  for (const int threads : {1, 2, 4}) {
+    par::ThreadPool pool(threads);
+    const SweepResult result = run_sweep(spec, &pool);
+    const AveragedResult& avg = result.points[0].averaged;
+    // Exact equality, not near-equality: the parallel fold must follow
+    // the identical operation order.
+    EXPECT_EQ(avg.mean_mbps, sum / seeds) << "threads=" << threads;
+    EXPECT_EQ(avg.min_mbps, lo) << "threads=" << threads;
+    EXPECT_EQ(avg.max_mbps, hi) << "threads=" << threads;
+    EXPECT_EQ(avg.mean_idle_slots, idle_sum / seeds) << "threads=" << threads;
+    EXPECT_EQ(avg.mean_hidden_pairs, hidden_sum / seeds)
+        << "threads=" << threads;
+    // Per-seed runs come back in seed order.
+    ASSERT_EQ(result.points[0].runs.size(), static_cast<std::size_t>(seeds));
+  }
+}
+
+TEST(Sweep, RunAveragedMatchesItsOwnSerialDefinition) {
+  const auto scenario = ScenarioConfig::connected(5, 42);
+  const auto scheme = SchemeConfig::fixed_p_persistent(0.05);
+  const auto opts = quick_options();
+
+  double sum = 0.0;
+  for (int s = 0; s < 2; ++s) {
+    ScenarioConfig sc = scenario;
+    sc.seed = scenario.seed + static_cast<std::uint64_t>(s);
+    sum += run_scenario(sc, scheme, opts).total_mbps;
+  }
+  const AveragedResult avg = run_averaged(scenario, scheme, 2, opts);
+  EXPECT_EQ(avg.mean_mbps, sum / 2);
+}
+
+TEST(Sweep, AtIndexesTheGridRowMajor) {
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::connected(3, 1),
+                    ScenarioConfig::connected(4, 1)};
+  spec.schemes = {SchemeConfig::standard(),
+                  SchemeConfig::fixed_p_persistent(0.05)};
+  spec.params = {0.1, 0.9};
+  spec.bind = [](double, ScenarioConfig&, SchemeConfig&) {};
+  spec.options = quick_options();
+  spec.options.measure = sim::Duration::seconds(0.2);
+  spec.keep_runs = false;
+  par::ThreadPool pool(2);
+  const SweepResult result = run_sweep(spec, &pool);
+  ASSERT_EQ(result.points.size(), 8u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      for (std::size_t k = 0; k < 2; ++k) {
+        const SweepPoint& pt = result.at(i, j, k);
+        EXPECT_EQ(pt.scenario_index, i);
+        EXPECT_EQ(pt.scheme_index, j);
+        EXPECT_EQ(pt.param_index, k);
+        EXPECT_DOUBLE_EQ(pt.param, spec.params[k]);
+        EXPECT_TRUE(pt.runs.empty());  // keep_runs = false
+      }
+  EXPECT_THROW(result.at(2, 0, 0), std::out_of_range);
+  EXPECT_THROW(result.at(0, 2, 0), std::out_of_range);
+  EXPECT_THROW(result.at(0, 0, 2), std::out_of_range);
+}
+
+TEST(Sweep, PointWithoutParamsAxisReportsNaNParam) {
+  SweepSpec spec = SweepSpec::single(ScenarioConfig::connected(3, 1),
+                                     SchemeConfig::standard());
+  spec.options.warmup = sim::Duration::zero();
+  spec.options.measure = sim::Duration::seconds(0.2);
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_TRUE(std::isnan(result.points[0].param));
+  ASSERT_EQ(result.points[0].runs.size(), 1u);
+  EXPECT_GT(result.points[0].runs[0].total_mbps, 0.0);
+}
+
+TEST(Sweep, ExceptionInsideAJobReachesTheCaller) {
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::connected(3, 1)};
+  spec.schemes = {SchemeConfig::standard()};
+  spec.params = {0.5};
+  // Binding to an invalid station count makes the job itself throw.
+  spec.bind = [](double, ScenarioConfig& sc, SchemeConfig&) {
+    sc.num_stations = -1;
+  };
+  spec.options = quick_options();
+  par::ThreadPool pool(2);
+  EXPECT_ANY_THROW(run_sweep(spec, &pool));
+}
+
+}  // namespace

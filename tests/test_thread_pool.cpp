@@ -1,0 +1,142 @@
+// Tests of the deterministic fork-join pool: static partitioning, ordered
+// merging, exception propagation, and 0/1/N-worker configurations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+
+namespace {
+
+using wlan::par::ThreadPool;
+
+TEST(ThreadPool, ZeroResolvesToDefaultCount) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::default_thread_count());
+}
+
+TEST(ThreadPool, SingleLaneHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  int calls = 0;
+  pool.parallel_for(5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    const std::size_t n = 101;
+    std::vector<int> hits(n, 0);
+    // Disjoint index blocks: no two lanes touch the same slot.
+    pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << "i=" << i;
+  }
+}
+
+TEST(ThreadPool, MoreLanesThanJobs) {
+  ThreadPool pool(8);
+  std::vector<int> hits(3, 0);
+  pool.parallel_for(3, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, BlocksAreContiguousAscendingAndBalanced) {
+  ThreadPool pool(4);
+  const std::size_t n = 10;  // blocks: 3,3,2,2
+  std::size_t expected_first = 0;
+  for (int lane = 0; lane < 4; ++lane) {
+    const auto [first, last] = pool.block_of(lane, n);
+    EXPECT_EQ(first, expected_first);
+    EXPECT_GE(last, first);
+    EXPECT_LE(last - first, n / 4 + 1);
+    expected_first = last;
+  }
+  EXPECT_EQ(expected_first, n);
+}
+
+TEST(ThreadPool, MapMergesInIndexOrderRegardlessOfThreads) {
+  auto square = [](std::size_t i) { return static_cast<int>(i * i); };
+  ThreadPool serial(1);
+  const auto expected = serial.parallel_map<int>(64, square);
+  for (const int threads : {2, 4, 7}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.parallel_map<int>(64, square), expected);
+  }
+}
+
+TEST(ThreadPool, PropagatesLowestIndexException) {
+  // Indices 3 and 7 both throw; lane blocks ascend, so the caller must
+  // always see index 3's error no matter how many lanes raced.
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    try {
+      pool.parallel_for(8, [](std::size_t i) {
+        if (i == 3 || i == 7)
+          throw std::runtime_error("boom at " + std::to_string(i));
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 3") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, UsableAgainAfterAnException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   16, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> calls{0};
+  pool.parallel_for(16, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ThreadPool, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_calls{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { ++inner_calls; });
+  });
+  EXPECT_EQ(inner_calls.load(), 8 * 4);
+}
+
+TEST(ThreadPool, ConcurrentDispatchFromTwoThreadsRunsEveryIndex) {
+  // Two threads hammering the same pool (like two sweeps sharing
+  // global()): the overlapping caller degrades to inline, nothing is
+  // lost or double-run.
+  ThreadPool pool(4);
+  std::atomic<int> a{0}, b{0};
+  std::thread other([&] {
+    for (int r = 0; r < 50; ++r)
+      pool.parallel_for(20, [&](std::size_t) { ++b; });
+  });
+  for (int r = 0; r < 50; ++r)
+    pool.parallel_for(20, [&](std::size_t) { ++a; });
+  other.join();
+  EXPECT_EQ(a.load(), 50 * 20);
+  EXPECT_EQ(b.load(), 50 * 20);
+}
+
+TEST(ThreadPool, ManyDispatchesReuseTheSameWorkers) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round)
+    pool.parallel_for(10, [&](std::size_t i) {
+      total += static_cast<long>(i);
+    });
+  EXPECT_EQ(total.load(), 200L * 45L);
+}
+
+}  // namespace
