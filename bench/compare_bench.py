@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare two substrate benchmark JSON files and fail on regression.
+
+Supports both this repo's BENCH_substrate.json schema
+(wlan-substrate-bench-v1, written by bench_macro_dynamic) and
+google-benchmark's --benchmark_out JSON (bench_micro_substrate).
+
+Usage:
+  compare_bench.py BASELINE CURRENT [--max-regress 0.10] [--advisory]
+                   [--skip-identity]
+
+For every case present in both files, the "higher is better" metric
+(items_per_second / sim_seconds_per_wall_second) is compared; a drop of
+more than --max-regress (default 10 %) is a regression. Exit codes:
+
+  0  no regression (or --advisory)
+  1  perf regression beyond the threshold
+  2  bit-identity violation: series_hash mismatch, or the current file
+     recorded repeat_identity_ok=false. NOT silenced by --advisory (pass
+     --skip-identity when comparing across machines/compilers, where libm
+     differences legitimately move the last ulp of the series).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    """Returns ({name: value}, {name: series_hash}, repeat_identity_ok)."""
+    with open(path) as f:
+        data = json.load(f)
+    values, hashes = {}, {}
+    identity_ok = True
+    if "benchmarks" in data:  # google-benchmark schema
+        for b in data["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            metric = b.get("items_per_second")
+            if metric is not None:
+                values[b["name"]] = float(metric)
+    else:  # wlan-substrate-bench-v1
+        identity_ok = bool(data.get("repeat_identity_ok", True))
+        for c in data.get("cases", []):
+            values[c["name"]] = float(c["value"])
+            h = c.get("series_hash", "0" * 16)
+            if set(h) != {"0"}:
+                hashes[c["name"]] = h
+    return values, hashes, identity_ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=0.10,
+                    help="allowed fractional drop (default 0.10)")
+    ap.add_argument("--advisory", action="store_true",
+                    help="report perf regressions but exit 0 for them "
+                         "(identity violations still exit 2)")
+    ap.add_argument("--skip-identity", action="store_true",
+                    help="do not compare series hashes (use across "
+                         "machines/compilers)")
+    args = ap.parse_args()
+
+    base_vals, base_hashes, _ = load_cases(args.baseline)
+    cur_vals, cur_hashes, cur_identity_ok = load_cases(args.current)
+
+    identity_failed = False
+    if not cur_identity_ok:
+        print("IDENTITY: current run reports repeat_identity_ok=false "
+              "(same-process repeat was not bit-identical)")
+        identity_failed = True
+    if not args.skip_identity:
+        for name, h in sorted(base_hashes.items()):
+            cur = cur_hashes.get(name)
+            if cur is None:
+                continue
+            if cur != h:
+                print(f"IDENTITY: {name}: series_hash {cur} != baseline {h}")
+                identity_failed = True
+
+    common = sorted(set(base_vals) & set(cur_vals))
+    if not common:
+        print("error: no common benchmark cases between the two files",
+              file=sys.stderr)
+        if identity_failed:
+            return 2
+        if args.advisory:
+            print("ADVISORY: nothing compared (baseline needs re-recording?)")
+            return 0
+        return 1
+
+    regressions = []
+    width = max(len(n) for n in common)
+    for name in common:
+        base, cur = base_vals[name], cur_vals[name]
+        ratio = cur / base if base > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 - args.max_regress:
+            regressions.append(name)
+            flag = "  << REGRESSION"
+        elif ratio > 1.0 + args.max_regress:
+            flag = "  (improved)"
+        print(f"{name:<{width}}  base {base:>12.6g}  cur {cur:>12.6g}  "
+              f"{ratio:6.2f}x{flag}")
+
+    only = sorted((set(base_vals) | set(cur_vals)) - set(common))
+    if only:
+        print(f"(cases present in only one file, ignored: {', '.join(only)})")
+
+    if identity_failed:
+        print("FAIL: bit-identity check")
+        return 2
+    if regressions:
+        msg = (f"{len(regressions)} case(s) regressed beyond "
+               f"{args.max_regress:.0%}: {', '.join(regressions)}")
+        if args.advisory:
+            print(f"ADVISORY: {msg}")
+            return 0
+        print(f"FAIL: {msg}")
+        return 1
+    print("OK: no regression beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

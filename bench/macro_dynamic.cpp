@@ -1,0 +1,234 @@
+// Substrate perf-regression driver: times the Fig. 8-11 style long dynamic
+// runs (the ROADMAP's remaining serial bottleneck) plus self-contained
+// event-queue/medium micro loops, and writes the results as
+// BENCH_substrate.json in the working directory.
+//
+//   bench/BENCH_substrate.json        checked-in baseline (this machine)
+//   bench/compare_bench.py old new    fails on >10 % regression
+//
+// The driver also HARD-checks determinism: the short wTOP dynamic run is
+// executed twice and the two throughput/control series must be
+// bit-identical (exit 1 otherwise). The per-case `series_hash` values let
+// compare_bench.py flag cross-build identity drift too (advisory across
+// machines: libm differences legitimately move the last ulp).
+//
+// Scale knobs: WLAN_BENCH_SECONDS (multiplier on the simulated horizon),
+// WLAN_BENCH_FAST (truthy => smoke run), --threads/WLAN_THREADS (unused
+// here — these runs are single long simulations, the point of this bench).
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "substrate_cases.hpp"
+
+namespace {
+
+using namespace wlan;
+
+double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// FNV-1a over the raw bit patterns of a series' (t, value) pairs.
+std::uint64_t hash_series(const stats::TimeSeries& s, std::uint64_t h) {
+  auto mix = [&h](double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    h ^= bits;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& sample : s.samples()) {
+    mix(sample.t_seconds);
+    mix(sample.value);
+  }
+  return h;
+}
+
+std::uint64_t hash_run(const exp::RunResult& r) {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = hash_series(r.throughput_series, h);
+  h = hash_series(r.control_series, h);
+  h = hash_series(r.active_nodes_series, h);
+  return h;
+}
+
+struct Case {
+  std::string name;
+  std::string metric;  // "items_per_second" | "sim_seconds_per_wall_second"
+  double value = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t series_hash = 0;  // 0 = not applicable
+};
+
+std::vector<Case> g_cases;
+
+/// Runs a Fig. 8/10-style dynamic scenario and records simulated seconds
+/// per wall second (higher is better). Returns the series hash.
+std::uint64_t macro_case(const std::string& name,
+                         const exp::SchemeConfig& scheme, double horizon,
+                         const std::vector<exp::PopulationStep>& schedule) {
+  const auto scenario = exp::ScenarioConfig::connected(60, 1);
+  const auto sample = sim::Duration::seconds(std::max(1.0, horizon / 100.0));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto run = exp::run_dynamic(scenario, scheme, schedule,
+                                    sim::Duration::seconds(horizon), sample);
+  const double wall = wall_seconds(t0);
+  Case c;
+  c.name = name;
+  c.metric = "sim_seconds_per_wall_second";
+  c.value = horizon / wall;
+  c.wall_seconds = wall;
+  c.series_hash = hash_run(run);
+  g_cases.push_back(c);
+  std::printf("%-28s %8.2f sim-s/wall-s  (%.2f s wall, hash %016" PRIx64
+              ")\n",
+              name.c_str(), c.value, wall, c.series_hash);
+  return c.series_hash;
+}
+
+/// Same steady-state churn loop as BM_EventQueueSteadyStateChurn (shared
+/// via bench/substrate_cases.hpp), hand-timed so the regression harness
+/// does not depend on google-benchmark being installed.
+void churn_case(std::uint64_t iters) {
+  bench::ChurnHarness churn;
+  for (std::uint64_t i = 0; i < iters / 10; ++i) churn.step();  // warm-up
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) churn.step();
+  const double wall = wall_seconds(t0);
+  Case c;
+  c.name = "eventqueue_churn";
+  c.metric = "items_per_second";
+  c.value = static_cast<double>(iters) / wall;
+  c.wall_seconds = wall;
+  g_cases.push_back(c);
+  std::printf("%-28s %8.2f M events/s     (%.2f s wall, heap_callbacks=%" PRIu64
+              ")\n",
+              c.name.c_str(), c.value / 1e6, wall,
+              churn.q.stats().heap_callbacks);
+}
+
+/// Schedule a burst, cancel 90 %, drain — O(1) cancel + lazy skim.
+void cancel_heavy_case(std::uint64_t rounds) {
+  constexpr std::size_t kBurst = 10000;
+  sim::EventQueue q;
+  std::uint64_t x = 7;
+  std::vector<sim::EventId> ids(kBurst);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t r = 0; r < rounds; ++r)
+    bench::cancel_heavy_round(q, ids, x, [](sim::EventQueue::Fired) {});
+  const double wall = wall_seconds(t0);
+  Case c;
+  c.name = "eventqueue_cancel_heavy";
+  c.metric = "items_per_second";
+  c.value = static_cast<double>(rounds * kBurst) / wall;
+  c.wall_seconds = wall;
+  g_cases.push_back(c);
+  std::printf("%-28s %8.2f M events/s     (%.2f s wall)\n", c.name.c_str(),
+              c.value / 1e6, wall);
+}
+
+/// Dense clique collision storm — worst case for interference marking.
+void medium_dense_case(std::uint64_t rounds) {
+  bench::DenseMediumHarness dense;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t r = 0; r < rounds; ++r) dense.round();
+  const double wall = wall_seconds(t0);
+  Case c;
+  c.name = "medium_dense";
+  c.metric = "items_per_second";
+  c.value =
+      static_cast<double>(rounds * bench::DenseMediumHarness::kNodes) / wall;
+  c.wall_seconds = wall;
+  g_cases.push_back(c);
+  std::printf("%-28s %8.2f M tx/s         (%.2f s wall, heap_callbacks=%" PRIu64
+              ")\n",
+              c.name.c_str(), c.value / 1e6, wall,
+              dense.sim.queue_stats().heap_callbacks);
+}
+
+void write_json(const char* path, bool identity_ok) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::perror("fopen BENCH_substrate.json");
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"wlan-substrate-bench-v1\",\n");
+  std::fprintf(f, "  \"repeat_identity_ok\": %s,\n",
+               identity_ok ? "true" : "false");
+  std::fprintf(f, "  \"cases\": [\n");
+  for (std::size_t i = 0; i < g_cases.size(); ++i) {
+    const Case& c = g_cases[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"metric\": \"%s\", \"value\": "
+                 "%.6g, \"wall_seconds\": %.6g, \"series_hash\": "
+                 "\"%016" PRIx64 "\"}%s\n",
+                 c.name.c_str(), c.metric.c_str(), c.value, c.wall_seconds,
+                 c.series_hash, i + 1 < g_cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bench::header("Substrate perf regression",
+                "Fig. 8-11 style long dynamic runs + event-queue/medium "
+                "micro loops; writes BENCH_substrate.json");
+
+  const double scale =
+      util::bench_time_scale() * (util::bench_fast() ? 0.1 : 1.0);
+  const double horizon = 100.0 * scale;
+  const std::vector<exp::PopulationStep> schedule{{0.0, 10},
+                                                  {horizon * 0.25, 40},
+                                                  {horizon * 0.50, 20},
+                                                  {horizon * 0.75, 60}};
+
+  // Bit-identity hard check first: the same short run twice must produce
+  // bit-identical series. This guards the determinism contract every
+  // figure depends on (and fails fast if the substrate breaks it).
+  const double id_horizon = std::max(2.0, horizon / 10.0);
+  const std::vector<exp::PopulationStep> id_schedule{{0.0, 10},
+                                                     {id_horizon * 0.5, 20}};
+  const auto id_scenario = exp::ScenarioConfig::connected(20, 1);
+  const auto id_sample = sim::Duration::seconds(1.0);
+  const auto id_a =
+      hash_run(exp::run_dynamic(id_scenario, exp::SchemeConfig::wtop_csma(),
+                                id_schedule,
+                                sim::Duration::seconds(id_horizon), id_sample));
+  const auto id_b =
+      hash_run(exp::run_dynamic(id_scenario, exp::SchemeConfig::wtop_csma(),
+                                id_schedule,
+                                sim::Duration::seconds(id_horizon), id_sample));
+  const bool identity_ok = id_a == id_b;
+  std::printf("repeat-identity: %s (hash %016" PRIx64 ")\n\n",
+              identity_ok ? "OK" : "MISMATCH", id_a);
+
+  macro_case("macro_wtop_dynamic", exp::SchemeConfig::wtop_csma(), horizon,
+             schedule);
+  macro_case("macro_tora_dynamic", exp::SchemeConfig::tora_csma(), horizon,
+             schedule);
+  const std::uint64_t micro_iters =
+      util::bench_fast() ? 1000000 : 5000000;
+  churn_case(micro_iters);
+  cancel_heavy_case(util::bench_fast() ? 20 : 100);
+  medium_dense_case(util::bench_fast() ? 20000 : 100000);
+
+  write_json("BENCH_substrate.json", identity_ok);
+  std::printf("\nWrote BENCH_substrate.json (compare with "
+              "bench/compare_bench.py)\n");
+  if (!identity_ok) {
+    std::fprintf(stderr,
+                 "FATAL: repeated run was not bit-identical — substrate "
+                 "determinism broken\n");
+    return 1;
+  }
+  return 0;
+}

@@ -3,8 +3,11 @@
 // optimal-p solvers, and end-to-end simulated-seconds-per-wall-second.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
 #include <vector>
+
+#include "substrate_cases.hpp"
 
 #include "analysis/bianchi.hpp"
 #include "analysis/ppersistent.hpp"
@@ -32,6 +35,36 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
+
+/// THE event-loop churn case (tracked in BENCH_substrate.json; the loop
+/// itself lives in bench/substrate_cases.hpp, shared with
+/// bench_macro_dynamic so the two measurements cannot drift apart).
+void BM_EventQueueSteadyStateChurn(benchmark::State& state) {
+  bench::ChurnHarness churn;
+  for (auto _ : state) churn.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  const auto stats = churn.q.stats();
+  state.counters["heap_callbacks"] = static_cast<double>(stats.heap_callbacks);
+  state.counters["stale_skipped"] = static_cast<double>(stats.stale_skipped);
+}
+BENCHMARK(BM_EventQueueSteadyStateChurn);
+
+/// Cancellation-heavy: schedule a burst, cancel 90% of it in pseudo-random
+/// order, drain the rest — the pattern of DIFS/NAV/timeout timers that are
+/// mostly killed before firing. Exercises O(1) cancel + lazy skimming.
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t x = 7;
+  std::vector<sim::EventId> ids(n);
+  sim::EventQueue q;
+  for (auto _ : state) {
+    bench::cancel_heavy_round(q, ids, x, [](sim::EventQueue::Fired fired) {
+      benchmark::DoNotOptimize(fired);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1000)->Arg(100000);
 
 void BM_SimulatorSelfSchedulingChain(benchmark::State& state) {
   for (auto _ : state) {
@@ -74,6 +107,22 @@ void BM_OptimalMasterProbability(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimalMasterProbability)->Arg(10)->Arg(60);
 
+/// Dense medium (bench/substrate_cases.hpp): a 24-node clique where every
+/// node transmits an overlapping frame each round — the worst case for the
+/// per-transmission interference marking (O(n^2) pairs) and the
+/// carrier-sense fan-out.
+void BM_MediumDenseOverlap(benchmark::State& state) {
+  bench::DenseMediumHarness dense;
+  for (auto _ : state) dense.round();
+  state.SetItemsProcessed(state.iterations() *
+                          bench::DenseMediumHarness::kNodes);
+  state.counters["corrupt_deliveries"] =
+      static_cast<double>(dense.medium.corrupt_deliveries());
+  state.counters["heap_callbacks"] =
+      static_cast<double>(dense.sim.queue_stats().heap_callbacks);
+}
+BENCHMARK(BM_MediumDenseOverlap);
+
 /// End-to-end MAC simulation speed: simulated milliseconds per iteration of
 /// a 20-station saturated connected network near its optimal operating
 /// point. items/s * 100 = simulated-ms/s.
@@ -87,6 +136,10 @@ void BM_MacSimulation20Stations(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   state.counters["events"] = static_cast<double>(
       net->simulator().events_executed());
+  // Every callback the MAC schedules must fit the inline buffer: this
+  // stays 0 or the zero-allocation claim is broken.
+  state.counters["heap_callbacks"] = static_cast<double>(
+      net->simulator().queue_stats().heap_callbacks);
 }
 BENCHMARK(BM_MacSimulation20Stations)->Unit(benchmark::kMillisecond);
 

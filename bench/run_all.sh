@@ -42,11 +42,12 @@ fi
 # it writes to the CWD lands there, tee the console output to driver.log,
 # and leave a .failed marker for the final tally.
 run_one() {
-  local bin="$1" name out
+  local bin="$1" name out t0 t1
   name="$(basename "${bin}")"
   out="${results_dir}/${name#bench_}"
   mkdir -p "${out}"
-  rm -f "${out}/.failed"
+  rm -f "${out}/.failed" "${out}/.wall_seconds"
+  t0="$(date +%s.%N)"
   if [[ ${name} == bench_micro_substrate ]]; then
     # google-benchmark driver: emits JSON instead of a CSV.
     (cd "${out}" && "${bin}" --benchmark_out="${out}/micro_substrate.json" \
@@ -56,6 +57,10 @@ run_one() {
     (cd "${out}" && "${bin}") > "${out}/driver.log" 2>&1 \
         || touch "${out}/.failed"
   fi
+  t1="$(date +%s.%N)"
+  # Per-driver wall clock, assembled into results/summary.csv at the end.
+  awk -v a="${t0}" -v b="${t1}" 'BEGIN { printf "%.2f\n", b - a }' \
+      > "${out}/.wall_seconds"
   if [[ -e "${out}/.failed" ]]; then
     echo "<== ${name} FAILED (log: ${out}/driver.log)"
   else
@@ -63,9 +68,9 @@ run_one() {
   fi
 }
 
-# Drop failure markers from previous invocations (a driver that no longer
-# runs must not fail this run's tally).
-rm -f "${results_dir}"/*/.failed
+# Drop failure/timing markers from previous invocations (a driver that no
+# longer runs must not appear in this run's tally or summary.csv).
+rm -f "${results_dir}"/*/.failed "${results_dir}"/*/.wall_seconds
 
 echo "Running ${#benches[@]} drivers, ${jobs} at a time ..."
 for bin in "${benches[@]}"; do
@@ -83,6 +88,21 @@ wait || true
 echo
 echo "Per-driver outputs in ${results_dir}/<driver>/:"
 ls -1 "${results_dir}"
+
+# Wall-clock summary across drivers (the slow ones are the optimization
+# targets — see ROADMAP's perf item).
+summary="${results_dir}/summary.csv"
+echo "driver,wall_seconds,status" > "${summary}"
+for wall in "${results_dir}"/*/.wall_seconds; do
+  [[ -e ${wall} ]] || continue
+  dir="$(dirname "${wall}")"
+  status=ok
+  [[ -e "${dir}/.failed" ]] && status=failed
+  echo "$(basename "${dir}"),$(cat "${wall}"),${status}"
+done | sort >> "${summary}"
+echo
+echo "Wall-clock summary (${summary}):"
+column -s, -t "${summary}" 2>/dev/null || cat "${summary}"
 
 failed=()
 for marker in "${results_dir}"/*/.failed; do

@@ -1,0 +1,142 @@
+// The substrate workloads shared by bench_micro_substrate (google-benchmark
+// timing) and bench_macro_dynamic (hand timing for BENCH_substrate.json).
+// One definition keeps the checked-in perf baseline and the
+// google-benchmark numbers measuring the SAME loop shape — if you change a
+// workload here, re-record bench/BENCH_substrate.json (see
+// docs/REPRODUCING.md, "Performance tracking").
+//
+// tests/test_event_queue.cpp intentionally keeps its own smaller churn
+// variant: it pins the zero-allocation contract, not throughput.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/medium.hpp"
+#include "phy/propagation.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace wlan::bench {
+
+inline std::uint64_t lcg(std::uint64_t& x) {
+  x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  return x >> 33;
+}
+
+/// THE event-loop churn case: a warm queue of 256 pending timers; each
+/// step pops + invokes the earliest, every 4th step cancels a (possibly
+/// stale) tracked timer and replaces it, and the population is topped
+/// back up — the shape of the MAC hot loop. Callbacks capture 24 bytes,
+/// which the old std::function-based queue heap-allocated per schedule.
+class ChurnHarness {
+ public:
+  static constexpr std::size_t kPending = 256;
+
+  ChurnHarness() {
+    for (std::size_t i = 0; i < kPending; ++i) tracked_.push_back(sched());
+  }
+
+  void step() {
+    auto fired = q.pop();
+    now_ = fired.time.ns();
+    fired.callback();
+    if ((step_++ & 3) == 0) {
+      const std::size_t k = lcg(x_) % tracked_.size();
+      q.cancel(tracked_[k]);  // often stale, as in the MAC
+      tracked_[k] = sched();
+    }
+    while (q.size() < kPending) sched();
+  }
+
+  std::uint64_t fired_count() const { return fired_count_; }
+
+  sim::EventQueue q;
+
+ private:
+  struct Payload {  // 24-byte capture, typical of MAC callbacks
+    std::uint64_t* counter;
+    std::uint64_t pad[2];
+  };
+
+  sim::EventId sched() {
+    Payload p{&fired_count_, {0, 0}};
+    const auto at = now_ + 1 + static_cast<std::int64_t>(lcg(x_) % 10000);
+    return q.schedule(sim::Time::from_ns(at), [p] { ++*p.counter; });
+  }
+
+  std::uint64_t fired_count_ = 0;
+  std::int64_t now_ = 0;
+  std::uint64_t x_ = 12345;
+  std::uint64_t step_ = 0;
+  std::vector<sim::EventId> tracked_;
+};
+
+/// Cancellation-heavy round: schedule a burst of `ids.size()` events,
+/// cancel ~90 % of it in pseudo-random order (repeated indices => stale
+/// double-cancels), drain the rest — the pattern of DIFS/NAV/timeout
+/// timers that are mostly killed before firing.
+template <typename Drain>
+void cancel_heavy_round(sim::EventQueue& q, std::vector<sim::EventId>& ids,
+                        std::uint64_t& x, Drain&& drain) {
+  const std::size_t n = ids.size();
+  for (std::size_t i = 0; i < n; ++i)
+    ids[i] = q.schedule(
+        sim::Time::from_ns(static_cast<std::int64_t>(lcg(x) % 1000000)),
+        [] {});
+  for (std::size_t i = 0; i < n * 9 / 10; ++i) q.cancel(ids[lcg(x) % n]);
+  while (!q.empty()) drain(q.pop());
+}
+
+/// Dense medium: a clique where every node transmits an overlapping frame
+/// each round — worst case for the per-transmission interference marking
+/// (O(n^2) pairs) and the carrier-sense fan-out.
+class DenseMediumHarness {
+ public:
+  static constexpr int kNodes = 24;
+
+  DenseMediumHarness() {
+    clients_.resize(kNodes);
+    for (int i = 0; i < kNodes; ++i)
+      medium.add_node({static_cast<double>(i), 0.0}, clients_[i]);
+    medium.finalize();
+    t_ = sim.now();
+  }
+
+  /// One collision-storm round: kNodes staggered overlapping starts.
+  /// The Frame is built inside the callback: capturing the 80-byte Frame
+  /// would overflow the 48-byte inline buffer and heap-box every event,
+  /// polluting the very metric this case tracks.
+  void round() {
+    for (int i = 0; i < kNodes; ++i) {
+      sim.schedule_at(t_ + sim::Duration::nanoseconds(10 * i), [this, i] {
+        phy::Frame f;
+        f.src = i;
+        f.dst = (i + 1) % kNodes;
+        medium.start_transmission(i, f, sim::Duration::microseconds(50));
+      });
+    }
+    t_ += sim::Duration::microseconds(100);
+    sim.run_until(t_);
+  }
+
+ private:
+  class NullClient : public phy::MediumClient {
+   public:
+    void on_channel_busy(sim::Time) override {}
+    void on_channel_idle(sim::Time) override {}
+    void on_frame_received(const phy::Frame&, bool, sim::Time) override {}
+  };
+
+  phy::DiscPropagation prop_{1e6, 1e6};  // everyone hears everyone
+
+ public:
+  sim::Simulator sim;
+  phy::Medium medium{sim, prop_};
+
+ private:
+  std::vector<NullClient> clients_;
+  sim::Time t_;
+};
+
+}  // namespace wlan::bench

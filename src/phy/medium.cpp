@@ -30,6 +30,14 @@ void Medium::finalize() {
         src.decodable_at.push_back(o);
     }
   }
+  // All per-transmission state is sized once here and reused across every
+  // transmission lifetime: one TxSlot per node plus one flat block of
+  // corruption-mark bits per (source, receiver) pair.
+  tx_slots_.assign(nodes_.size(), TxSlot{});
+  words_per_tx_ = (nodes_.size() + 63) / 64;
+  corrupt_.assign(nodes_.size() * words_per_tx_, 0);
+  scratch_corrupt_.assign(words_per_tx_, 0);
+  active_.reserve(nodes_.size());
 }
 
 bool Medium::is_busy_for(NodeId n) const {
@@ -50,27 +58,23 @@ bool Medium::decodes(NodeId source, NodeId observer) const {
   return std::find(d.begin(), d.end(), observer) != d.end();
 }
 
-void Medium::mark_corrupt(ActiveTx& tx, NodeId receiver) {
-  if (receiver == tx.src) return;  // the source is never its own receiver
-  tx.corrupted_rx.push_back(receiver);
+void Medium::mark_corrupt(NodeId tx_src, NodeId receiver) {
+  if (receiver == tx_src) return;  // the source is never its own receiver
+  corrupt_words(tx_src)[static_cast<std::size_t>(receiver) >> 6] |=
+      std::uint64_t{1} << (static_cast<unsigned>(receiver) & 63u);
 }
 
-void Medium::interfere(ActiveTx& victim, NodeId interferer, NodeId receiver) {
-  if (receiver == victim.src) return;
+void Medium::interfere(NodeId victim_src, NodeId interferer, NodeId receiver) {
+  if (receiver == victim_src) return;
   if (capture_ratio_ > 0.0) {
     const auto& rx = nodes_[static_cast<std::size_t>(receiver)].position;
     const double wanted = propagation_.rx_power(
-        nodes_[static_cast<std::size_t>(victim.src)].position, rx);
+        nodes_[static_cast<std::size_t>(victim_src)].position, rx);
     const double noise = propagation_.rx_power(
         nodes_[static_cast<std::size_t>(interferer)].position, rx);
     if (wanted >= capture_ratio_ * noise) return;  // captured: copy survives
   }
-  victim.corrupted_rx.push_back(receiver);
-}
-
-bool Medium::is_corrupt_for(const ActiveTx& tx, NodeId receiver) {
-  return std::find(tx.corrupted_rx.begin(), tx.corrupted_rx.end(), receiver) !=
-         tx.corrupted_rx.end();
+  mark_corrupt(victim_src, receiver);
 }
 
 void Medium::start_transmission(NodeId src, const Frame& frame,
@@ -87,7 +91,13 @@ void Medium::start_transmission(NodeId src, const Frame& frame,
   const std::uint64_t id = next_tx_id_++;
   ++tx_started_;
 
-  ActiveTx tx{id, src, frame, start, end, {}};
+  // Reuse this node's pooled slot: overwrite the previous occupant in
+  // place and reset its corruption marks.
+  TxSlot& tx = tx_slots_[static_cast<std::size_t>(src)];
+  tx.id = id;
+  tx.end = end;
+  tx.frame = frame;
+  std::fill_n(corrupt_words(src), words_per_tx_, std::uint64_t{0});
 
   // Mutual-corruption bookkeeping against transmissions already in flight.
   // For each active transmission F and the new one G:
@@ -95,23 +105,27 @@ void Medium::start_transmission(NodeId src, const Frame& frame,
   //    that hears G loses its copy of F;
   //  * symmetrically, F's source and everyone who hears F lose their copy
   //    of G.
-  for (ActiveTx& other : active_) {
+  // (Mark order is irrelevant — marking only sets per-receiver bits — so
+  // iterating active_ in its unordered swap-removal order is fine.)
+  for (NodeId o : active_) {
+    const TxSlot& other = tx_slots_[static_cast<std::size_t>(o)];
     // Transmissions are half-open intervals [start, end): one that ends
     // exactly now does not overlap us, even if its end event has not fired
     // yet (event ordering at equal timestamps is insertion order).
     if (other.end <= start) continue;
     // Half-duplex: each source is a dead receiver for the other frame,
     // capture or not.
-    mark_corrupt(other, src);
-    mark_corrupt(tx, other.src);
+    mark_corrupt(o, src);
+    mark_corrupt(src, o);
     // Mutual interference at every receiver in range (capture-aware).
-    for (NodeId r : source.audible_at) interfere(other, src, r);
-    const auto& other_src = nodes_[static_cast<std::size_t>(other.src)];
-    for (NodeId r : other_src.audible_at) interfere(tx, other.src, r);
+    for (NodeId r : source.audible_at) interfere(o, src, r);
+    const auto& other_src = nodes_[static_cast<std::size_t>(o)];
+    for (NodeId r : other_src.audible_at) interfere(src, o, r);
   }
 
   source.transmitting = true;
-  active_.push_back(std::move(tx));
+  tx.active_pos = static_cast<std::uint32_t>(active_.size());
+  active_.push_back(src);
 
   // Carrier-sense: every listener audible to us sees one more transmission.
   for (NodeId o : source.audible_at) {
@@ -119,30 +133,45 @@ void Medium::start_transmission(NodeId src, const Frame& frame,
     if (++obs.sensed_count == 1) obs.client->on_channel_busy(start);
   }
 
-  sim_.schedule_at(end, [this, id] { end_transmission(id); });
+  sim_.schedule_at(end, [this, src, id] { end_transmission(src, id); });
 }
 
-void Medium::end_transmission(std::uint64_t tx_id) {
-  auto it = std::find_if(active_.begin(), active_.end(),
-                         [tx_id](const ActiveTx& t) { return t.id == tx_id; });
-  assert(it != active_.end() && "transmission ended twice");
-  ActiveTx tx = std::move(*it);
-  active_.erase(it);
+void Medium::end_transmission(NodeId src, std::uint64_t tx_id) {
+  TxSlot& tx = tx_slots_[static_cast<std::size_t>(src)];
+  assert(tx.id == tx_id && "transmission ended twice");
+  (void)tx_id;
 
-  NodeRec& source = nodes_[static_cast<std::size_t>(tx.src)];
+  // O(1) removal from the in-flight list via the slot's back-pointer.
+  const std::uint32_t pos = tx.active_pos;
+  const NodeId moved = active_.back();
+  active_[pos] = moved;
+  tx_slots_[static_cast<std::size_t>(moved)].active_pos = pos;
+  active_.pop_back();
+  tx.id = 0;
+
+  NodeRec& source = nodes_[static_cast<std::size_t>(src)];
   source.transmitting = false;
 
   const sim::Time now = sim_.now();
+
+  // Snapshot the frame and this slot's corruption marks into reusable
+  // scratch storage: a delivery callback may start a new transmission from
+  // this very source, which would overwrite the slot mid-loop.
+  const Frame frame = tx.frame;
+  std::copy_n(corrupt_words(src), words_per_tx_, scratch_corrupt_.begin());
 
   // Promiscuous delivery to every receiver that can decode the source —
   // BEFORE the carrier-sense release, so that when the idle transition
   // fires a receiver already knows whether the ending busy period carried
   // an intelligible frame (the MAC's EIFS rule depends on this).
   for (NodeId r : source.decodable_at) {
-    const bool clean = !is_corrupt_for(tx, r);
+    const bool clean =
+        ((scratch_corrupt_[static_cast<std::size_t>(r) >> 6] >>
+          (static_cast<unsigned>(r) & 63u)) &
+         1u) == 0;
     if (!clean) ++corrupt_deliveries_;
-    nodes_[static_cast<std::size_t>(r)].client->on_frame_received(tx.frame,
-                                                                  clean, now);
+    nodes_[static_cast<std::size_t>(r)].client->on_frame_received(frame, clean,
+                                                                  now);
   }
 
   for (NodeId o : source.audible_at) {

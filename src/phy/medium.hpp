@@ -97,14 +97,15 @@ class Medium {
   std::uint64_t corrupt_deliveries() const { return corrupt_deliveries_; }
 
  private:
-  struct ActiveTx {
-    std::uint64_t id;
-    NodeId src;
+  /// Per-source transmission slot. A node has at most one frame in flight
+  /// (half-duplex), so the slot index IS the source NodeId and slots are
+  /// reused across that node's transmissions — no per-transmission
+  /// allocation, no scanning an active list to find a transmission.
+  struct TxSlot {
+    std::uint64_t id = 0;  // live transmission id; 0 = slot idle
+    sim::Time end;         // overlap checks need only the end instant
     Frame frame;
-    sim::Time start;
-    sim::Time end;
-    /// Receivers whose copy is corrupted (duplicates allowed; usually empty).
-    std::vector<NodeId> corrupted_rx;
+    std::uint32_t active_pos = 0;  // index into active_ while in flight
   };
 
   struct NodeRec {
@@ -116,17 +117,28 @@ class Medium {
     std::vector<NodeId> decodable_at;  // nodes that can decode this node
   };
 
-  static void mark_corrupt(ActiveTx& tx, NodeId receiver);
-  static bool is_corrupt_for(const ActiveTx& tx, NodeId receiver);
-  /// Marks `receiver`'s copy of `victim` corrupt unless capture saves it
-  /// from `interferer`.
-  void interfere(ActiveTx& victim, NodeId interferer, NodeId receiver);
-  void end_transmission(std::uint64_t tx_id);
+  /// Marks `receiver`'s copy of `tx_src`'s current frame corrupt.
+  void mark_corrupt(NodeId tx_src, NodeId receiver);
+  /// Marks `receiver`'s copy of `victim_src`'s frame corrupt unless
+  /// capture saves it from `interferer`.
+  void interfere(NodeId victim_src, NodeId interferer, NodeId receiver);
+  void end_transmission(NodeId src, std::uint64_t tx_id);
+
+  std::uint64_t* corrupt_words(NodeId tx_src) {
+    return corrupt_.data() + static_cast<std::size_t>(tx_src) * words_per_tx_;
+  }
 
   sim::Simulator& sim_;
   const PropagationModel& propagation_;
   std::vector<NodeRec> nodes_;
-  std::vector<ActiveTx> active_;  // small: concurrent transmissions only
+  std::vector<TxSlot> tx_slots_;  // one per node, sized at finalize()
+  std::vector<NodeId> active_;    // sources in flight (swap-removed, unordered)
+  /// Flat corruption marks, sized once at finalize(): bit `r` of the
+  /// `words_per_tx_` words at corrupt_words(src) means receiver r's copy
+  /// of src's current frame is lost. Cleared when src's slot is reused.
+  std::vector<std::uint64_t> corrupt_;
+  std::vector<std::uint64_t> scratch_corrupt_;  // delivery-time snapshot
+  std::size_t words_per_tx_ = 0;
   bool finalized_ = false;
   double capture_ratio_ = 0.0;  // <= 0: no capture
   std::uint64_t next_tx_id_ = 1;

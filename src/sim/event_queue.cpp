@@ -1,49 +1,148 @@
 #include "sim/event_queue.hpp"
 
 #include <cassert>
+#include <type_traits>
 #include <utility>
 
 namespace wlan::sim {
 
 EventId EventQueue::schedule(Time t, Callback cb) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{t, seq, std::move(cb)});
-  pending_.insert(seq);
-  return EventId(seq);
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  assert(s.seq == 0 && "scheduling into an occupied slot");
+  s.seq = seq;
+  s.callback = std::move(cb);
+  if (s.callback.heap_allocated()) ++heap_callbacks_;
+
+  heap_.push_back(HeapEntry{t.ns(), seq, slot});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  ++scheduled_;
+  return EventId(slot, seq);
 }
 
 void EventQueue::cancel(EventId id) {
   if (!id.valid()) return;
-  // erase() returns 0 for ids that already fired or were already cancelled
-  // (stale handles) — those cancels are true no-ops.
-  pending_.erase(id.id_);
+  if (id.slot_ >= slots_.size()) return;  // handle from a clear()ed queue
+  Slot& s = slots_[id.slot_];
+  // A fired or cancelled seq is never reused, so a mismatch means the
+  // handle is stale (already fired or already cancelled): a true no-op.
+  if (s.seq != id.seq_) return;
+  // O(1): release the slot now; the heap entry goes stale and is skipped
+  // lazily when it reaches the top.
+  s.seq = 0;
+  s.callback = Callback();  // destroy the callable eagerly
+  free_.push_back(id.slot_);
+  --live_;
+  ++cancelled_;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::drop_top() {
+  const HeapEntry back = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = back;
+    sift_down(0);
+  }
 }
 
 void EventQueue::skim() {
-  while (!heap_.empty() && pending_.count(heap_.top().seq) == 0) heap_.pop();
+  while (!heap_.empty() && slots_[heap_[0].slot].seq != heap_[0].seq) {
+    drop_top();
+    ++stale_skipped_;
+  }
 }
 
 Time EventQueue::next_time() {
   skim();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return Time::from_ns(heap_[0].time_ns);
+}
+
+bool EventQueue::pop_until(Time limit, Fired& out) {
+  skim();
+  if (heap_.empty() || heap_[0].time_ns > limit.ns()) return false;
+  const HeapEntry top = heap_[0];
+  Slot& s = slots_[top.slot];
+  assert(s.seq == top.seq);
+  out.time = Time::from_ns(top.time_ns);
+  // Unlike the old priority_queue implementation (which had to const_cast
+  // top() to move the callback out), the pool slot is mutable by
+  // construction — assert we never move from a const reference again.
+  static_assert(!std::is_const_v<std::remove_reference_t<decltype(s.callback)>>,
+                "pop must move the callback from mutable pooled storage");
+  out.callback = std::move(s.callback);
+  s.seq = 0;
+  free_.push_back(top.slot);
+  drop_top();
+  --live_;
+  ++fired_;
+  return true;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  skim();
-  assert(!heap_.empty());
-  // priority_queue::top() is const; move via const_cast is safe because the
-  // entry is popped immediately after.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.time, std::move(top.callback)};
-  pending_.erase(top.seq);
-  heap_.pop();
-  return fired;
+  Fired out;
+  const bool popped = pop_until(Time::max(), out);
+  assert(popped && "pop() on an empty queue");
+  (void)popped;
+  return out;
 }
 
 void EventQueue::clear() {
-  heap_ = {};
-  pending_.clear();
+  heap_.clear();
+  slots_.clear();  // destroys every live callback
+  free_.clear();
+  live_ = 0;
+}
+
+EventQueue::Stats EventQueue::stats() const {
+  Stats s;
+  s.scheduled = scheduled_;
+  s.fired = fired_;
+  s.cancelled = cancelled_;
+  s.stale_skipped = stale_skipped_;
+  s.heap_callbacks = heap_callbacks_;
+  s.live = live_;
+  s.heap_entries = heap_.size();
+  s.pool_slots = slots_.size();
+  return s;
 }
 
 }  // namespace wlan::sim

@@ -1,17 +1,33 @@
 // Priority queue of timed callbacks with O(log n) insert/pop and O(1)
-// cancellation (lazy: cancelled entries are skipped when popped).
+// cancellation.
+//
+// Layout (rewritten for the hot path — see docs/ARCHITECTURE.md):
+//
+//   heap_   4-ary min-heap of 24-byte POD entries {time, seq, slot}.
+//           The ordering keys live in the heap array itself, so sift
+//           operations touch nothing but this contiguous array.
+//   slots_  pooled callback storage. A slot holds the live occupant's seq
+//           and its callback in a small-buffer `InlineFunction` (<= 48
+//           bytes inline: every lambda mac/ and phy/ schedule). Slots are
+//           recycled through a free list — steady-state scheduling
+//           performs zero heap allocations.
+//
+// Cancellation is O(1) and lazy: cancel() releases the slot (seq goes to
+// 0, callback destroyed) and leaves the heap entry in place; pop() skips
+// entries whose slot no longer carries their seq. A fired or cancelled
+// seq is never reused, so stale EventId handles are recognized exactly —
+// cancelling one is a true no-op, forever.
 //
 // Ordering is total and deterministic: ties on time are broken by insertion
 // sequence number, so two events scheduled for the same instant fire in the
 // order they were scheduled — important for slot-aligned MAC behaviour.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace wlan::sim {
@@ -21,31 +37,33 @@ namespace wlan::sim {
 class EventId {
  public:
   constexpr EventId() = default;
-  constexpr bool valid() const { return id_ != 0; }
+  constexpr bool valid() const { return seq_ != 0; }
   constexpr bool operator==(const EventId&) const = default;
 
  private:
   friend class EventQueue;
-  constexpr explicit EventId(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;
+  constexpr EventId(std::uint32_t slot, std::uint64_t seq)
+      : slot_(slot), seq_(seq) {}
+  std::uint32_t slot_ = 0;
+  std::uint64_t seq_ = 0;  // unique per schedule(); 0 = null handle
 };
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction;
 
   /// Schedules `cb` at absolute time `t`. Returns a handle for cancel().
   EventId schedule(Time t, Callback cb);
 
-  /// Cancels a pending event. Cancelling a null handle, an already-fired
-  /// event, or an already-cancelled event is a safe no-op.
+  /// Cancels a pending event in O(1). Cancelling a null handle, an
+  /// already-fired event, or an already-cancelled event is a safe no-op.
   void cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
-  bool empty() const { return pending_.empty(); }
+  bool empty() const { return live_ == 0; }
 
   /// Number of live events.
-  std::size_t size() const { return pending_.size(); }
+  std::size_t size() const { return live_; }
 
   /// Time of the earliest live event. Requires !empty().
   Time next_time();
@@ -57,31 +75,70 @@ class EventQueue {
   };
   Fired pop();
 
+  /// Combined next_time()+pop() for the executive's dispatch loop: if the
+  /// earliest live event fires at or before `limit`, pops it into `out`
+  /// and returns true — one heap walk per dispatched event instead of the
+  /// separate empty()/next_time()/pop() calls.
+  bool pop_until(Time limit, Fired& out);
+
   /// Removes every pending event.
   void clear();
 
+  /// Lifetime counters + sizing, exposed for benchmarks and the
+  /// zero-allocation tests.
+  struct Stats {
+    std::uint64_t scheduled = 0;       // schedule() calls
+    std::uint64_t fired = 0;           // events popped live
+    std::uint64_t cancelled = 0;       // live events cancelled
+    std::uint64_t stale_skipped = 0;   // dead heap entries skimmed on pop
+    std::uint64_t heap_callbacks = 0;  // callables too big for the inline
+                                       // buffer (heap-boxed)
+    std::size_t live = 0;              // == size()
+    std::size_t heap_entries = 0;      // incl. not-yet-skimmed stale ones
+    std::size_t pool_slots = 0;        // pooled callback slots allocated
+  };
+  Stats stats() const;
+
  private:
-  struct Entry {
-    Time time;
-    std::uint64_t seq;  // insertion order; also the cancellation key
+  /// POD heap node; the order keys (time, seq) are stored inline so the
+  /// comparison never chases the slot pool.
+  struct HeapEntry {
+    std::int64_t time_ns;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  /// Pooled callback slot. `seq` identifies the live occupant; 0 = free.
+  struct Slot {
+    std::uint64_t seq = 0;
     Callback callback;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
-  /// Drops cancelled entries from the top of the heap.
+  static constexpr std::size_t kArity = 4;  // d-ary heap fan-out
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Removes heap_[0] and restores the heap property.
+  void drop_top();
+  /// Drops dead (cancelled) entries from the top of the heap.
   void skim();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  /// Ids of scheduled-but-not-yet-fired events. Exact membership makes
-  /// cancel() robust against stale handles: cancelling an event that has
-  /// already fired (a handle the owner never cleared) is a true no-op.
-  std::unordered_set<std::uint64_t> pending_;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // recycled slot indices (LIFO)
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;
+
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t stale_skipped_ = 0;
+  std::uint64_t heap_callbacks_ = 0;
 };
 
 }  // namespace wlan::sim

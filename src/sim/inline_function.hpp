@@ -1,0 +1,157 @@
+// Small-buffer-optimized move-only `void()` callable for the event-queue
+// hot path.
+//
+// Every lambda the MAC layer schedules captures at most a couple of
+// pointers/ids (8-24 bytes), yet `std::function` on libstdc++ spills
+// anything beyond 16 bytes to the heap — one allocation + one free per
+// simulated event. `InlineFunction` stores callables up to
+// `kInlineCapacity` (48) bytes in place; only oversized or
+// potentially-throwing-move callables fall back to a heap box, and the
+// owner can observe that via heap_allocated() (the event queue counts it
+// in its stats so a benchmark/test can assert the hot path stays at zero
+// allocations).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wlan::sim {
+
+class InlineFunction {
+ public:
+  /// Inline storage size: fits every callback `mac/` and `phy/` schedule
+  /// (largest today: a capture of `this` + two ids) with headroom, and
+  /// also a whole `std::function` (32 bytes on libstdc++), so forwarding
+  /// wrappers stay inline too.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  InlineFunction() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking an empty InlineFunction");
+    ops_->invoke(storage_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the wrapped callable did not fit the inline buffer and
+  /// lives in a heap box instead.
+  bool heap_allocated() const { return ops_ != nullptr && ops_->heap; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs into `dst` from `src`, then destroys `src`.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool heap;
+    /// Trivially copyable + trivially destructible payload: relocation is
+    /// a fixed-size memcpy and destruction a no-op, both inlined at the
+    /// call site instead of going through the function pointers above.
+    /// (Every lambda mac/ and phy/ schedule is in this class.)
+    bool trivial;
+  };
+
+  /// Inline storage requires a nothrow move so relocation (pool slots move
+  /// when the pool grows) can be noexcept.
+  template <typename D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= kInlineCapacity &&
+      alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static D* as(void* storage) {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+
+  template <typename D>
+  static void inline_invoke(void* s) {
+    (*as<D>(s))();
+  }
+  template <typename D>
+  static void inline_relocate(void* src, void* dst) noexcept {
+    D* p = as<D>(src);
+    ::new (dst) D(std::move(*p));
+    p->~D();
+  }
+  template <typename D>
+  static void inline_destroy(void* s) noexcept {
+    as<D>(s)->~D();
+  }
+
+  template <typename D>
+  static void heap_invoke(void* s) {
+    (**as<D*>(s))();
+  }
+  static void heap_relocate(void* src, void* dst) noexcept {
+    std::memcpy(dst, src, sizeof(void*));  // the box pointer itself moves
+  }
+  template <typename D>
+  static void heap_destroy(void* s) noexcept {
+    delete *as<D*>(s);
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{&inline_invoke<D>, &inline_relocate<D>,
+                                  &inline_destroy<D>, false,
+                                  std::is_trivially_copyable_v<D> &&
+                                      std::is_trivially_destructible_v<D>};
+  template <typename D>
+  static constexpr Ops kHeapOps{&heap_invoke<D>, &heap_relocate,
+                                &heap_destroy<D>, true, false};
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+  void move_from(InlineFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      if (ops_->trivial) {
+        // Fixed-size copy: always valid (both buffers are kInlineCapacity)
+        // and cheaper than an indirect call per relocation.
+        std::memcpy(storage_, other.storage_, kInlineCapacity);
+      } else {
+        ops_->relocate(other.storage_, storage_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace wlan::sim

@@ -20,9 +20,12 @@ void Simulator::cancel(EventId id) { queue_.cancel(id); }
 std::uint64_t Simulator::run_until(Time limit) {
   std::uint64_t ran = 0;
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    if (queue_.next_time() > limit) break;
-    auto fired = queue_.pop();
+  // Batched dispatch: pop_until is one combined heap walk per event,
+  // replacing the separate empty()/next_time()/pop() calls of the old
+  // loop. (stop_requested_ stays checked per event — a callback may call
+  // stop() — but that is a member load, not a function boundary.)
+  EventQueue::Fired fired;
+  while (!stop_requested_ && queue_.pop_until(limit, fired)) {
     now_ = fired.time;
     fired.callback();
     ++ran;
@@ -35,8 +38,8 @@ std::uint64_t Simulator::run_until(Time limit) {
 std::uint64_t Simulator::run_all() {
   std::uint64_t ran = 0;
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    auto fired = queue_.pop();
+  EventQueue::Fired fired;
+  while (!stop_requested_ && queue_.pop_until(Time::max(), fired)) {
     now_ = fired.time;
     fired.callback();
     ++ran;
@@ -46,8 +49,8 @@ std::uint64_t Simulator::run_all() {
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  auto fired = queue_.pop();
+  EventQueue::Fired fired;
+  if (!queue_.pop_until(Time::max(), fired)) return false;
   now_ = fired.time;
   fired.callback();
   ++events_executed_;

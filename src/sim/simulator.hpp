@@ -47,6 +47,10 @@ class Simulator {
   /// Total events executed since construction (exposed for benchmarks).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Event-queue counters/sizing (allocation behaviour, stale-entry churn)
+  /// for benchmarks and the zero-allocation tests.
+  EventQueue::Stats queue_stats() const { return queue_.stats(); }
+
   bool idle() const { return queue_.empty(); }
 
  private:

@@ -1,0 +1,142 @@
+// Unit tests for the small-buffer callable underlying the event queue:
+// inline vs heap storage selection, move semantics, destruction.
+#include "sim/inline_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace {
+
+using wlan::sim::InlineFunction;
+
+TEST(InlineFunction, DefaultConstructedIsEmpty) {
+  InlineFunction f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_FALSE(f.heap_allocated());
+}
+
+TEST(InlineFunction, InvokesSmallLambdaInline) {
+  int hits = 0;
+  InlineFunction f([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_FALSE(f.heap_allocated());  // one pointer capture: fits inline
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, CapacityBoundaryStaysInline) {
+  // Exactly kInlineCapacity bytes of trivially-copyable capture.
+  std::array<std::uint8_t, InlineFunction::kInlineCapacity - 8> pad{};
+  pad[0] = 42;
+  int out = 0;
+  int* out_p = &out;
+  InlineFunction f([pad, out_p] { *out_p = pad[0]; });
+  EXPECT_FALSE(f.heap_allocated());
+  f();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(InlineFunction, OversizedCallableFallsBackToHeap) {
+  std::array<std::uint8_t, InlineFunction::kInlineCapacity + 1> big{};
+  big[7] = 9;
+  int out = 0;
+  int* out_p = &out;
+  InlineFunction f([big, out_p] { *out_p = big[7]; });
+  EXPECT_TRUE(f.heap_allocated());
+  f();
+  EXPECT_EQ(out, 9);
+}
+
+TEST(InlineFunction, WrapsStdFunctionInline) {
+  // std::function is 32 bytes on libstdc++ — the forwarding pattern
+  // exp::install_sampler uses must not heap-box a second time.
+  int hits = 0;
+  std::function<void()> inner = [&hits] { ++hits; };
+  InlineFunction f(inner);
+  EXPECT_FALSE(f.heap_allocated());
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineFunction a([&hits] { ++hits; });
+  InlineFunction b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  InlineFunction a([token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // alive inside a
+  int hits = 0;
+  a = InlineFunction([&hits] { ++hits; });
+  EXPECT_TRUE(watch.expired());  // previous target destroyed
+  a();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, DestructorReleasesNonTrivialCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFunction f([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, DestructorReleasesHeapBoxedCapture) {
+  std::array<std::uint8_t, 128> big{};
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFunction f([big, token] { (void)big; (void)*token; });
+    EXPECT_TRUE(f.heap_allocated());
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, MovedFromIsReusable) {
+  int hits = 0;
+  InlineFunction a([&hits] { ++hits; });
+  InlineFunction b(std::move(a));
+  a = InlineFunction([&hits] { hits += 10; });
+  a();
+  b();
+  EXPECT_EQ(hits, 11);
+}
+
+TEST(InlineFunction, SelfMoveAssignIsSafe) {
+  int hits = 0;
+  InlineFunction a([&hits] { ++hits; });
+  InlineFunction& alias = a;
+  a = std::move(alias);
+  a();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, MutableLambdaKeepsStatePerInvocation) {
+  int out = 0;
+  int* out_p = &out;
+  InlineFunction f([n = 0, out_p]() mutable { *out_p = ++n; });
+  f();
+  f();
+  f();
+  EXPECT_EQ(out, 3);
+}
+
+}  // namespace

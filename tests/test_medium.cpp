@@ -315,6 +315,65 @@ TEST(Medium, CountsTransmissions) {
   EXPECT_EQ(w.medium.transmissions_started(), 2u);
 }
 
+TEST(Medium, CorruptionMarksResetWhenTxSlotReused) {
+  // Regression guard for the pooled per-source TxSlot design: node 1's
+  // first transmission is corrupted by an overlap; its SECOND transmission
+  // reuses the same slot and must start with clean marks.
+  ConnectedWorld w;
+  w.sim.schedule_at(Time::from_ns(0), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(100));
+  });
+  w.sim.schedule_at(Time::from_ns(50'000), [&] {
+    w.medium.start_transmission(2, data_frame(2, 0),
+                                Duration::microseconds(100));
+  });
+  // Round 2: node 1 alone, well after the collision resolved.
+  w.sim.schedule_at(Time::from_ns(1'000'000), [&] {
+    w.medium.start_transmission(1, data_frame(1, 0),
+                                Duration::microseconds(100));
+  });
+  w.sim.run_until(Time::from_seconds(1));
+  ASSERT_EQ(w.ap.received.size(), 3u);
+  EXPECT_FALSE(w.ap.received[0].clean);  // collided copy of node 1's frame
+  EXPECT_FALSE(w.ap.received[1].clean);  // collided copy of node 2's frame
+  EXPECT_TRUE(w.ap.received[2].clean);   // reused slot: marks were reset
+}
+
+TEST(Medium, SlotReuseStressAlternatingCorruptClean) {
+  // Many reuse generations per slot: odd rounds collide, even rounds are
+  // clean. Any leakage of corruption marks (or of the in-flight list's
+  // swap-removal bookkeeping) across reuses breaks the expected pattern.
+  ConnectedWorld w;
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto base = Time::from_ns(round * 1'000'000);
+    w.sim.schedule_at(base, [&] {
+      w.medium.start_transmission(1, data_frame(1, 0),
+                                  Duration::microseconds(100));
+    });
+    if (round % 2 == 1) {
+      w.sim.schedule_at(base + Duration::microseconds(30), [&] {
+        w.medium.start_transmission(2, data_frame(2, 0),
+                                    Duration::microseconds(100));
+      });
+    }
+  }
+  w.sim.run_until(Time::from_seconds(1));
+  int idx = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    ASSERT_LT(idx, static_cast<int>(w.ap.received.size()));
+    const bool expect_clean = round % 2 == 0;
+    EXPECT_EQ(w.ap.received[static_cast<std::size_t>(idx)].clean,
+              expect_clean)
+        << "round " << round;
+    idx += expect_clean ? 1 : 2;  // collision rounds deliver two frames
+  }
+  EXPECT_EQ(idx, static_cast<int>(w.ap.received.size()));
+  EXPECT_EQ(w.medium.transmissions_started(),
+            static_cast<std::uint64_t>(kRounds + kRounds / 2));
+}
+
 TEST(Medium, ThreeWayCollisionAllCorrupt) {
   ConnectedWorld w;
   w.sim.schedule_at(Time::from_ns(0), [&] {

@@ -113,6 +113,33 @@ TEST(Simulator, CountsExecutedEvents) {
   EXPECT_EQ(sim.events_executed(), 7u);
 }
 
+TEST(Simulator, QueueStatsExposed) {
+  Simulator sim;
+  auto id = sim.schedule_at(Time::from_ns(5), [] {});
+  sim.schedule_at(Time::from_ns(10), [] {});
+  sim.schedule_at(Time::from_ns(15), [] {});
+  sim.cancel(id);
+  sim.run_until(Time::from_ns(10));
+  const auto stats = sim.queue_stats();
+  EXPECT_EQ(stats.scheduled, 3u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.fired, 1u);
+  EXPECT_EQ(stats.live, 1u);
+  EXPECT_EQ(stats.heap_callbacks, 0u);  // captureless lambdas stay inline
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, CancelledEventsDoNotCountAsExecuted) {
+  Simulator sim;
+  int ran = 0;
+  auto a = sim.schedule_at(Time::from_ns(1), [&] { ++ran; });
+  sim.schedule_at(Time::from_ns(2), [&] { ++ran; });
+  sim.cancel(a);
+  EXPECT_EQ(sim.run_until(Time::from_ns(10)), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
 TEST(Simulator, SameTimeEventsRunInScheduleOrder) {
   Simulator sim;
   std::vector<int> order;
