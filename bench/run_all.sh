@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Runs every figure/table/ablation bench binary — up to WLAN_BENCH_JOBS of
-# them in parallel (they are independent processes) — and collects each
-# driver's CSV/JSON plus its console log under
-# <build-dir>/results/<driver>/.
+# Runs every figure/table/ablation/extension bench binary — up to
+# WLAN_BENCH_JOBS of them in parallel (they are independent processes) —
+# and collects each driver's CSV/JSON plus its console log under
+# <build-dir>/results/<driver>/. Drivers are discovered by the bench_*
+# glob below, so a new bench/*.cpp (e.g. ext_load_delay_curve,
+# ext_load_sweep_fairness) registers itself once CMake builds it.
 #
 # Usage:
 #   bench/run_all.sh [build-dir]          # default build-dir: ./build

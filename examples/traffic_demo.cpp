@@ -1,0 +1,61 @@
+// Traffic-layer demo: the generator -> queue -> station pipeline.
+//
+// Runs the same 10-station connected WLAN at three offered loads (below,
+// near, and past saturation) and prints what the traffic layer measures:
+// delivered vs offered throughput, per-packet delay percentiles, queue
+// occupancy, and drop rate. Finishes with a deterministic trace-replay
+// source to show the fourth generator kind.
+//
+//   ./traffic_demo [--nodes 10] [--seconds 10] [--seed 1]
+#include <cstdio>
+
+#include "exp/runner.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wlan;
+
+  util::Cli cli(argc, argv);
+  const int nodes = static_cast<int>(cli.get_int("nodes", 10));
+  const double seconds = cli.get_double("seconds", 10.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  exp::RunOptions opts;
+  opts.warmup = sim::Duration::seconds(seconds * 0.2);
+  opts.measure = sim::Duration::seconds(seconds * 0.8);
+
+  std::printf("Traffic demo: %d connected stations, Poisson arrivals, "
+              "queue capacity 64\n\n", nodes);
+  std::printf("%-18s %9s %9s %9s %9s %9s %9s %7s\n", "offered/sta",
+              "offered", "delivered", "mean ms", "p50 ms", "p95 ms", "p99 ms",
+              "drop");
+
+  for (const double load : {1.0, 2.5, 4.0}) {
+    auto scenario = exp::ScenarioConfig::connected(nodes, seed);
+    scenario.traffic = traffic::TrafficConfig::poisson(load);
+    const auto r =
+        exp::run_scenario(scenario, exp::SchemeConfig::standard(), opts);
+    std::printf("%-18s %9.2f %9.2f %9.3f %9.3f %9.3f %9.3f %6.1f%%\n",
+                (std::to_string(load) + " Mb/s").c_str(), r.offered_mbps,
+                r.total_mbps, r.mean_delay_s * 1e3, r.delay_p50_s * 1e3,
+                r.delay_p95_s * 1e3, r.delay_p99_s * 1e3,
+                100.0 * r.drop_rate);
+  }
+
+  std::printf("\nBelow the knee delay is sub-millisecond and nothing drops;"
+              "\npast it queues fill, p99 explodes, and tail drop caps the"
+              "\ndelivered rate at the saturation throughput.\n\n");
+
+  // Deterministic trace replay: one packet every 2 ms per station.
+  auto scenario = exp::ScenarioConfig::connected(nodes, seed);
+  scenario.traffic =
+      traffic::TrafficConfig::trace({0.002}, /*repeat=*/true);
+  const auto r =
+      exp::run_scenario(scenario, exp::SchemeConfig::standard(), opts);
+  std::printf("Trace replay (1 packet / 2 ms / station): offered %.2f Mb/s, "
+              "delivered %.2f Mb/s, mean delay %.3f ms\n",
+              r.offered_mbps, r.total_mbps, r.mean_delay_s * 1e3);
+  std::printf("Rerun with the same seed to see every number reproduce "
+              "exactly.\n");
+  return 0;
+}

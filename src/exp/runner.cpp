@@ -47,28 +47,66 @@ int count_active(const mac::Network& net) {
   return count;
 }
 
-/// Self-rescheduling sampler recording windowed throughput and the control
-/// variable. Lives until the simulation ends (events die with the network).
-void install_sampler(mac::Network& net, const SchemeConfig& scheme,
-                     sim::Duration period, RunResult& result) {
-  auto prev_bits = std::make_shared<std::int64_t>(0);
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [&net, &scheme, &result, period, prev_bits, tick] {
+/// Self-rescheduling sampler recording windowed throughput, the control
+/// variable, and (with traffic sources) queue occupancy and drop rate.
+/// Lives until the simulation ends (the last pending tick event holds the
+/// final shared_ptr, so the state dies with the network's simulator).
+///
+/// The periodic event captures a single shared_ptr (16 bytes): it lives in
+/// sim::InlineFunction's inline buffer, where the old implementation
+/// round-tripped a heap-boxed std::function copy through every tick.
+struct Sampler : std::enable_shared_from_this<Sampler> {
+  mac::Network& net;
+  const SchemeConfig& scheme;
+  sim::Duration period;
+  RunResult& result;
+  std::int64_t prev_bits = 0;
+  std::uint64_t prev_drops = 0;
+
+  Sampler(mac::Network& net, const SchemeConfig& scheme, sim::Duration period,
+          RunResult& result)
+      : net(net), scheme(scheme), period(period), result(result) {}
+
+  void arm() {
+    net.simulator().schedule_after(
+        period, [self = shared_from_this()] { self->tick(); });
+  }
+
+  std::uint64_t total_drops() const {
+    std::uint64_t drops = 0;
+    for (int i = 0; i < net.num_stations(); ++i)
+      drops += net.traffic_source(i).drops();
+    return drops;
+  }
+
+  void tick() {
     const std::int64_t bits = net.counters().total_bits_delivered();
     // Windowed Mb/s over the sampling period. Counter resets (warm-up
     // discard) make the delta negative once; clamp that window to zero.
     const double mbps =
-        std::max<double>(0.0, static_cast<double>(bits - *prev_bits)) /
+        std::max<double>(0.0, static_cast<double>(bits - prev_bits)) /
         period.s() / 1e6;
-    *prev_bits = bits;
+    prev_bits = bits;
     const sim::Time now = net.simulator().now();
     result.throughput_series.add(now, mbps);
     result.control_series.add(now, control_value(net, scheme));
     result.stage_series.add(now, stage_value(net, scheme));
     result.active_nodes_series.add(now, count_active(net));
-    net.simulator().schedule_after(period, *tick);
-  };
-  net.simulator().schedule_after(period, *tick);
+    if (net.traffic_enabled()) {
+      result.queue_series.add(now, static_cast<double>(net.total_queued()));
+      const std::uint64_t drops = total_drops();
+      result.drop_series.add(
+          now, static_cast<double>(drops - std::min(drops, prev_drops)) /
+                   period.s());
+      prev_drops = drops;
+    }
+    arm();
+  }
+};
+
+void install_sampler(mac::Network& net, const SchemeConfig& scheme,
+                     sim::Duration period, RunResult& result) {
+  std::make_shared<Sampler>(net, scheme, period, result)->arm();
 }
 
 std::size_t hidden_pairs_of(const ScenarioConfig& scenario) {
@@ -86,6 +124,30 @@ void collect_measurement(mac::Network& net, RunResult& result) {
   result.mean_attempt_probability = mean_attempt_probability(net);
   result.successes = net.counters().total_successes();
   result.failures = net.counters().total_failures();
+
+  if (net.traffic_enabled()) {
+    const sim::Time now = net.simulator().now();
+    for (int i = 0; i < net.num_stations(); ++i) {
+      const auto& src = net.traffic_source(i);
+      result.delays.merge(src.delays());
+      result.packets_offered += src.arrivals();
+      result.packets_dropped += src.drops();
+      result.mean_queue_occupancy += src.queue().mean_occupancy(now);
+    }
+    if (window > sim::Duration::zero()) {
+      result.offered_mbps =
+          static_cast<double>(result.packets_offered) *
+          static_cast<double>(net.params().payload_bits) / window.s() / 1e6;
+    }
+    if (result.packets_offered > 0) {
+      result.drop_rate = static_cast<double>(result.packets_dropped) /
+                         static_cast<double>(result.packets_offered);
+    }
+    result.mean_delay_s = result.delays.mean_s();
+    result.delay_p50_s = result.delays.quantile(0.50);
+    result.delay_p95_s = result.delays.quantile(0.95);
+    result.delay_p99_s = result.delays.quantile(0.99);
+  }
 }
 
 }  // namespace

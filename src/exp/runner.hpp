@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exp/scenario.hpp"
+#include "stats/delay.hpp"
 #include "stats/timeseries.hpp"
 
 namespace wlan::exp {
@@ -37,6 +38,22 @@ struct RunResult {
   std::uint64_t successes = 0;
   std::uint64_t failures = 0;
 
+  // Traffic-layer metrics over the measured window; all zero when the
+  // scenario runs the saturated default (no sources, no queues).
+  std::uint64_t packets_offered = 0;  // arrivals at the queues, drops included
+  std::uint64_t packets_dropped = 0;  // tail drops at full queues
+  double offered_mbps = 0.0;          // arrival payload rate, all stations
+  double drop_rate = 0.0;             // packets_dropped / packets_offered
+  /// Time-averaged total packets queued across all stations.
+  double mean_queue_occupancy = 0.0;
+  /// Per-packet MAC delay (enqueue -> ACK), merged across stations.
+  double mean_delay_s = 0.0;
+  double delay_p50_s = 0.0;
+  double delay_p95_s = 0.0;
+  double delay_p99_s = 0.0;
+  /// The full delay distribution behind the summary quantiles above.
+  stats::DelayHistogram delays;
+
   /// Station index of each cleanly received data frame, in order (only
   /// when RunOptions::record_series; drives short-term fairness metrics).
   std::vector<int> success_sources;
@@ -46,6 +63,9 @@ struct RunResult {
   stats::TimeSeries control_series{"control"};
   stats::TimeSeries stage_series{"stage"};
   stats::TimeSeries active_nodes_series{"N"};
+  // Sampled only when the scenario runs finite traffic sources.
+  stats::TimeSeries queue_series{"pkts"};     // total packets queued
+  stats::TimeSeries drop_series{"drops/s"};   // windowed drop rate
 };
 
 /// Runs one scenario under one scheme.
@@ -63,6 +83,14 @@ struct AveragedResult {
   double max_mbps = 0.0;
   double mean_idle_slots = 0.0;
   double mean_hidden_pairs = 0.0;
+  // Seed means of the traffic metrics (zero for saturated runs).
+  double mean_offered_mbps = 0.0;
+  double mean_drop_rate = 0.0;
+  double mean_queue_occupancy = 0.0;
+  double mean_delay_s = 0.0;
+  double mean_delay_p50_s = 0.0;
+  double mean_delay_p95_s = 0.0;
+  double mean_delay_p99_s = 0.0;
 };
 AveragedResult run_averaged(const ScenarioConfig& scenario,
                             const SchemeConfig& scheme, int seeds,

@@ -157,6 +157,7 @@ std::unique_ptr<mac::Network> build_network(const ScenarioConfig& scenario,
     net->add_station(layout.stations[static_cast<std::size_t>(i)],
                      make_strategy(scheme, scenario.phy, i));
   }
+  net->set_traffic(scenario.traffic);
   switch (scheme.kind) {
     case SchemeKind::kWTopCsma:
       net->set_controller(

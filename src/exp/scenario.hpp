@@ -16,6 +16,7 @@
 #include "mac/wifi_params.hpp"
 #include "phy/propagation.hpp"
 #include "topology/placement.hpp"
+#include "traffic/arrival.hpp"
 
 namespace wlan::exp {
 
@@ -39,6 +40,11 @@ struct ScenarioConfig {
   /// second hidden-node mechanism). > 0 wraps the propagation in a
   /// ShadowedDisc; applies to either topology kind.
   double shadow_probability = 0.0;
+  /// Per-station source model. The default (saturated) reproduces every
+  /// historical run bit-for-bit; any other model drives stations from
+  /// bounded queues fed by traffic/ arrival generators, opening the
+  /// offered-load axis (delay, drops, load sweeps).
+  traffic::TrafficConfig traffic;
 
   static ScenarioConfig connected(int n, std::uint64_t seed = 1);
   static ScenarioConfig hidden(int n, double disc_radius,

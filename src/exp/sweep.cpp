@@ -28,28 +28,41 @@ std::vector<SweepJob> expand(const SweepSpec& spec) {
     throw std::invalid_argument("SweepSpec: seeds must be >= 1");
   if (!spec.params.empty() && !spec.bind)
     throw std::invalid_argument("SweepSpec: params axis needs a bind");
-
   const std::size_t num_params = spec.params.empty() ? 1 : spec.params.size();
+  const std::size_t num_loads = spec.loads.empty() ? 1 : spec.loads.size();
   std::vector<SweepJob> jobs;
   jobs.reserve(spec.scenarios.size() * spec.schemes.size() * num_params *
-               static_cast<std::size_t>(spec.seeds));
+               num_loads * static_cast<std::size_t>(spec.seeds));
   std::size_t point = 0;
   for (const auto& scenario : spec.scenarios) {
     for (const auto& scheme : spec.schemes) {
-      for (std::size_t pi = 0; pi < num_params; ++pi, ++point) {
+      for (std::size_t pi = 0; pi < num_params; ++pi) {
         ScenarioConfig bound_scenario = scenario;
         SchemeConfig bound_scheme = scheme;
         if (!spec.params.empty())
           spec.bind(spec.params[pi], bound_scenario, bound_scheme);
-        for (int s = 0; s < spec.seeds; ++s) {
-          SweepJob job;
-          job.point_index = point;
-          job.seed_index = s;
-          job.scenario = bound_scenario;
-          job.scenario.seed =
-              bound_scenario.seed + static_cast<std::uint64_t>(s);
-          job.scheme = bound_scheme;
-          jobs.push_back(std::move(job));
+        // Validated post-bind (a bind may rewrite the traffic config): a
+        // load only means something to a model that reads it — saturated
+        // stations have no load knob and a trace replays fixed gaps, so a
+        // loads axis over either would emit one flat "curve".
+        if (!spec.loads.empty() && !bound_scenario.traffic.load_driven())
+          throw std::invalid_argument(
+              "SweepSpec: loads axis needs load-driven scenario traffic "
+              "(CBR, Poisson, or on/off)");
+        for (std::size_t li = 0; li < num_loads; ++li, ++point) {
+          ScenarioConfig loaded_scenario = bound_scenario;
+          if (!spec.loads.empty())
+            loaded_scenario.traffic.offered_load_mbps = spec.loads[li];
+          for (int s = 0; s < spec.seeds; ++s) {
+            SweepJob job;
+            job.point_index = point;
+            job.seed_index = s;
+            job.scenario = loaded_scenario;
+            job.scenario.seed =
+                loaded_scenario.seed + static_cast<std::uint64_t>(s);
+            job.scheme = bound_scheme;
+            jobs.push_back(std::move(job));
+          }
         }
       }
     }
@@ -66,11 +79,20 @@ AveragedResult fold_seeds(const std::vector<RunResult>& runs) {
   if (runs.empty()) return avg;
   double sum = 0.0, idle_sum = 0.0, hidden_sum = 0.0;
   double lo = 0.0, hi = 0.0;
+  double offered_sum = 0.0, drop_sum = 0.0, occupancy_sum = 0.0;
+  double delay_sum = 0.0, p50_sum = 0.0, p95_sum = 0.0, p99_sum = 0.0;
   for (std::size_t s = 0; s < runs.size(); ++s) {
     const RunResult& r = runs[s];
     sum += r.total_mbps;
     idle_sum += r.ap_avg_idle_slots;
     hidden_sum += static_cast<double>(r.hidden_pairs);
+    offered_sum += r.offered_mbps;
+    drop_sum += r.drop_rate;
+    occupancy_sum += r.mean_queue_occupancy;
+    delay_sum += r.mean_delay_s;
+    p50_sum += r.delay_p50_s;
+    p95_sum += r.delay_p95_s;
+    p99_sum += r.delay_p99_s;
     if (s == 0) {
       lo = hi = r.total_mbps;
     } else {
@@ -84,17 +106,27 @@ AveragedResult fold_seeds(const std::vector<RunResult>& runs) {
   avg.max_mbps = hi;
   avg.mean_idle_slots = idle_sum / n;
   avg.mean_hidden_pairs = hidden_sum / n;
+  avg.mean_offered_mbps = offered_sum / n;
+  avg.mean_drop_rate = drop_sum / n;
+  avg.mean_queue_occupancy = occupancy_sum / n;
+  avg.mean_delay_s = delay_sum / n;
+  avg.mean_delay_p50_s = p50_sum / n;
+  avg.mean_delay_p95_s = p95_sum / n;
+  avg.mean_delay_p99_s = p99_sum / n;
   return avg;
 }
 
 }  // namespace
 
 const SweepPoint& SweepResult::at(std::size_t scenario, std::size_t scheme,
-                                  std::size_t param) const {
+                                  std::size_t param,
+                                  std::size_t load) const {
   if (scenario >= num_scenarios || scheme >= num_schemes ||
-      param >= num_params)
+      param >= num_params || load >= num_loads)
     throw std::out_of_range("SweepResult::at: index outside the grid");
-  return points[(scenario * num_schemes + scheme) * num_params + param];
+  return points[((scenario * num_schemes + scheme) * num_params + param) *
+                    num_loads +
+                load];
 }
 
 SweepResult run_sweep(const SweepSpec& spec, par::ThreadPool* pool) {
@@ -112,19 +144,26 @@ SweepResult run_sweep(const SweepSpec& spec, par::ThreadPool* pool) {
   result.num_scenarios = spec.scenarios.size();
   result.num_schemes = spec.schemes.size();
   result.num_params = spec.params.empty() ? 1 : spec.params.size();
-  const std::size_t num_points =
-      result.num_scenarios * result.num_schemes * result.num_params;
+  result.num_loads = spec.loads.empty() ? 1 : spec.loads.size();
+  const std::size_t num_points = result.num_scenarios * result.num_schemes *
+                                 result.num_params * result.num_loads;
   result.points.resize(num_points);
 
   const auto seeds = static_cast<std::size_t>(spec.seeds);
   for (std::size_t point = 0; point < num_points; ++point) {
     SweepPoint& out = result.points[point];
-    out.param_index = point % result.num_params;
-    out.scheme_index = (point / result.num_params) % result.num_schemes;
-    out.scenario_index = point / (result.num_params * result.num_schemes);
+    out.load_index = point % result.num_loads;
+    const std::size_t per_param = point / result.num_loads;
+    out.param_index = per_param % result.num_params;
+    out.scheme_index = (per_param / result.num_params) % result.num_schemes;
+    out.scenario_index =
+        per_param / (result.num_params * result.num_schemes);
     out.param = spec.params.empty()
                     ? std::numeric_limits<double>::quiet_NaN()
                     : spec.params[out.param_index];
+    out.load = spec.loads.empty()
+                   ? std::numeric_limits<double>::quiet_NaN()
+                   : spec.loads[out.load_index];
     // Jobs for this point are contiguous and in seed order.
     const auto first = raw.begin() + static_cast<std::ptrdiff_t>(point * seeds);
     std::vector<RunResult> runs(

@@ -5,11 +5,14 @@
 // serial loop over the same grid.
 //
 // Axes, outermost to innermost (row-major expansion order):
-//   scenarios × schemes × params × seeds
+//   scenarios × schemes × params × loads × seeds
 // The seed axis runs scenario.seed, scenario.seed + 1, ... like
 // run_averaged always has. The params axis is an optional free dimension
 // (attempt probability, reset probability, ...) applied to each point by a
-// user-supplied `bind` callback before the job is built.
+// user-supplied `bind` callback before the job is built. The loads axis is
+// an optional offered-load dimension (per-station Mb/s written into
+// ScenarioConfig::traffic) so a whole throughput–delay curve fans across
+// the pool as one grid.
 #pragma once
 
 #include <cstddef>
@@ -34,7 +37,12 @@ struct SweepSpec {
   /// Rewrites a (scenario, scheme) pair for one value of the params axis.
   /// Required exactly when `params` is non-empty.
   std::function<void(double value, ScenarioConfig&, SchemeConfig&)> bind;
-  /// Axis 4 (innermost): seeds averaged per grid point; the s-th run uses
+  /// Axis 4 (optional): per-station offered load in Mb/s, written into
+  /// each scenario's traffic.offered_load_mbps. Requires every scenario to
+  /// carry a non-saturated TrafficConfig (the load of a backlogged station
+  /// is not a free variable).
+  std::vector<double> loads;
+  /// Axis 5 (innermost): seeds averaged per grid point; the s-th run uses
   /// scenario.seed + s. Must be >= 1.
   int seeds = 1;
   /// Options forwarded to every run_scenario call.
@@ -51,15 +59,16 @@ struct SweepSpec {
 
 /// One fully bound simulation job from the expanded grid.
 struct SweepJob {
-  std::size_t point_index = 0;  // row-major over scenarios×schemes×params
+  /// Row-major over scenarios×schemes×params×loads.
+  std::size_t point_index = 0;
   int seed_index = 0;           // position on the seed axis
-  ScenarioConfig scenario;      // seed offset already applied
+  ScenarioConfig scenario;      // seed offset and load already applied
   SchemeConfig scheme;
 };
 
 /// Expands the grid into jobs in deterministic row-major order. Throws
 /// std::invalid_argument on an ill-formed spec (empty axis, seeds < 1,
-/// params without bind).
+/// params without bind, loads with a saturated scenario).
 std::vector<SweepJob> expand(const SweepSpec& spec);
 
 /// Results for one grid point, folded over the seed axis in seed order
@@ -68,8 +77,11 @@ struct SweepPoint {
   std::size_t scenario_index = 0;
   std::size_t scheme_index = 0;
   std::size_t param_index = 0;
+  std::size_t load_index = 0;
   /// The bound params-axis value; NaN when the spec had no params axis.
   double param = 0.0;
+  /// The bound per-station load (Mb/s); NaN when the spec had no loads axis.
+  double load = 0.0;
   AveragedResult averaged;
   /// Per-seed results in seed order; empty unless spec.keep_runs.
   std::vector<RunResult> runs;
@@ -79,11 +91,12 @@ struct SweepResult {
   std::size_t num_scenarios = 0;
   std::size_t num_schemes = 0;
   std::size_t num_params = 0;  // 1 when the spec had no params axis
-  /// Row-major over scenarios×schemes×params.
+  std::size_t num_loads = 0;   // 1 when the spec had no loads axis
+  /// Row-major over scenarios×schemes×params×loads.
   std::vector<SweepPoint> points;
 
   const SweepPoint& at(std::size_t scenario, std::size_t scheme = 0,
-                       std::size_t param = 0) const;
+                       std::size_t param = 0, std::size_t load = 0) const;
 };
 
 /// Runs every job in the expanded grid on `pool` (default: the process

@@ -86,6 +86,16 @@ void StandardDcfStrategy::on_failure(util::Rng& rng) {
   draw(rng);
 }
 
+void StandardDcfStrategy::checkpoint_decision_state() {
+  saved_counter_ = counter_;
+  saved_need_initial_draw_ = need_initial_draw_;
+}
+
+void StandardDcfStrategy::restore_decision_state() {
+  counter_ = saved_counter_;
+  need_initial_draw_ = saved_need_initial_draw_;
+}
+
 double StandardDcfStrategy::attempt_probability() const {
   // Mean attempt probability of a uniform window draw over [0, CW-1].
   return 2.0 / (params_.cw_at_stage(stage_) + 1.0);

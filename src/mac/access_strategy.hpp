@@ -45,6 +45,17 @@ class AccessStrategy {
   /// idle slots (IdleSense's measurement hook; default ignores it).
   virtual void on_transmission_observed(double idle_slots);
 
+  /// Batched-backoff support (mac::Station pre-draws a run of slot
+  /// decisions at backoff entry and schedules a single decision event).
+  /// checkpoint_decision_state() snapshots whatever decide_transmit()
+  /// mutates; restore_decision_state() rewinds to that snapshot so an
+  /// interrupted batch can be replayed draw-for-draw. Strategies whose
+  /// decide_transmit is stateless (p-persistent, RandomReset, fixed-CW)
+  /// keep the no-op defaults. No other callback is ever invoked between a
+  /// checkpoint and its restore.
+  virtual void checkpoint_decision_state() {}
+  virtual void restore_decision_state() {}
+
   /// Mean per-slot attempt probability implied by the current state
   /// (diagnostics, Figs. 9/11 time series).
   virtual double attempt_probability() const = 0;
@@ -96,6 +107,8 @@ class StandardDcfStrategy final : public AccessStrategy {
   bool decide_transmit(util::Rng& rng) override;
   void on_success(util::Rng& rng) override;
   void on_failure(util::Rng& rng) override;
+  void checkpoint_decision_state() override;
+  void restore_decision_state() override;
   double attempt_probability() const override;
   std::string name() const override { return "Standard802.11"; }
 
@@ -109,6 +122,10 @@ class StandardDcfStrategy final : public AccessStrategy {
   int stage_ = 0;
   std::uint64_t counter_ = 0;
   bool need_initial_draw_ = true;
+  // decide_transmit() mutates only {counter_, need_initial_draw_}; the
+  // checkpoint is a shadow copy of exactly that state.
+  std::uint64_t saved_counter_ = 0;
+  bool saved_need_initial_draw_ = true;
 };
 
 /// RandomReset(j; p0) exponential backoff (Definition 4): per idle slot the

@@ -36,6 +36,12 @@ void Network::set_controller(std::unique_ptr<ApController> controller) {
   ap_.set_controller(controller_.get());
 }
 
+void Network::set_traffic(const traffic::TrafficConfig& config) {
+  if (finalized_)
+    throw std::logic_error("Network: set_traffic after finalize");
+  traffic_config_ = config;
+}
+
 void Network::finalize() {
   if (finalized_) throw std::logic_error("Network: finalize called twice");
   finalized_ = true;
@@ -47,6 +53,19 @@ void Network::finalize() {
     stations_[i]->attach(static_cast<phy::NodeId>(i) + 1, ap_node_,
                          &counters_->node(i));
   }
+  if (!traffic_config_.saturated()) {
+    // Stream ids: station MAC draws use streams 1..N (see add_station) and
+    // the AP uses 0xA9; arrival streams live far above both so adding a
+    // source never perturbs a MAC draw.
+    constexpr std::uint64_t kTrafficStreamBase = 0x100000;
+    sources_.reserve(stations_.size());
+    for (std::size_t i = 0; i < stations_.size(); ++i) {
+      sources_.push_back(std::make_unique<traffic::TrafficSource>(
+          sim_, traffic_config_, params_.payload_bits,
+          util::Rng(seed_, kTrafficStreamBase + i)));
+      stations_[i]->set_traffic_source(sources_[i].get());
+    }
+  }
 }
 
 void Network::start() {
@@ -54,7 +73,16 @@ void Network::start() {
   if (started_) throw std::logic_error("Network: start called twice");
   started_ = true;
   measure_start_ = sim_.now();
+  // Stations with a source and an empty queue park in kNoData until the
+  // first arrival event (scheduled here) wakes them.
+  for (auto& src : sources_) src->start();
   for (auto& s : stations_) s->start();
+}
+
+std::size_t Network::total_queued() const {
+  std::size_t total = 0;
+  for (const auto& src : sources_) total += src->queue().size();
+  return total;
 }
 
 void Network::run_for(sim::Duration d) { run_until(sim_.now() + d); }
@@ -66,6 +94,7 @@ void Network::run_until(sim::Time t) {
 
 void Network::reset_counters() {
   counters_->reset();
+  for (auto& src : sources_) src->reset_stats(sim_.now());
   measure_start_ = sim_.now();
 }
 

@@ -24,6 +24,8 @@
 #include "phy/propagation.hpp"
 #include "sim/simulator.hpp"
 #include "stats/counters.hpp"
+#include "traffic/arrival.hpp"
+#include "traffic/source.hpp"
 
 namespace wlan::mac {
 
@@ -45,6 +47,12 @@ class Network {
 
   /// Installs the AP-side adaptation algorithm (owned). Optional.
   void set_controller(std::unique_ptr<ApController> controller);
+
+  /// Switches every station from the saturated default to the described
+  /// finite source model (one traffic::TrafficSource per station, each on
+  /// its own RNG stream). Must precede finalize(). A saturated config is a
+  /// no-op.
+  void set_traffic(const traffic::TrafficConfig& config);
 
   /// Freezes the topology. Must be called once before start().
   void finalize();
@@ -78,6 +86,22 @@ class Network {
   const WifiParams& params() const { return params_; }
   ApController* controller() { return controller_.get(); }
 
+  /// True when set_traffic() installed finite sources.
+  bool traffic_enabled() const { return !sources_.empty(); }
+  const traffic::TrafficConfig& traffic_config() const {
+    return traffic_config_;
+  }
+  traffic::TrafficSource& traffic_source(int index) {
+    return *sources_[static_cast<std::size_t>(index)];
+  }
+  const traffic::TrafficSource& traffic_source(int index) const {
+    return *sources_[static_cast<std::size_t>(index)];
+  }
+
+  /// Total packets currently queued across every station's source (0 when
+  /// saturated) — the queue-occupancy time series samples this.
+  std::size_t total_queued() const;
+
   /// Current total throughput over the measured window, Mb/s.
   double total_mbps() const {
     return counters_->total_mbps(measured_duration());
@@ -92,6 +116,8 @@ class Network {
   AccessPoint ap_;
   phy::NodeId ap_node_;
   std::vector<std::unique_ptr<Station>> stations_;
+  traffic::TrafficConfig traffic_config_;  // saturated by default
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources_;
   std::unique_ptr<ApController> controller_;
   std::unique_ptr<stats::RunCounters> counters_;
   bool finalized_ = false;

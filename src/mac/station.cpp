@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cassert>
 
+#include "traffic/source.hpp"
+#include "util/env.hpp"
+
 namespace wlan::mac {
+
+bool Station::batching_enabled() {
+  static const bool enabled = util::env_bool("WLAN_BATCH_SLOTS", true);
+  return enabled;
+}
 
 Station::Station(sim::Simulator& simulator, phy::Medium& medium,
                  const WifiParams& params,
@@ -26,6 +34,15 @@ void Station::attach(phy::NodeId self, phy::NodeId ap,
   counters_ = counters;
 }
 
+void Station::set_traffic_source(traffic::TrafficSource* source) {
+  traffic_ = source;
+  if (traffic_ != nullptr) {
+    traffic_->set_wake_callback([this] {
+      if (state_ == State::kNoData) resume_contention();
+    });
+  }
+}
+
 void Station::start() {
   assert(self_ != phy::kInvalidNode && "attach() must be called first");
   active_ = true;
@@ -42,7 +59,12 @@ void Station::set_active(bool active) {
     // Quiesce immediately unless mid-exchange; finish_exchange() will park
     // the station in kInactive once the outcome resolves.
     if (state_ == State::kDifsWait || state_ == State::kBackoff ||
-        state_ == State::kIdleWait) {
+        state_ == State::kIdleWait || state_ == State::kNoData) {
+      // The deactivation event was scheduled long before any boundary it
+      // could coincide with, so a boundary draw at this exact instant
+      // never happened in the per-slot scheme.
+      if (state_ == State::kBackoff && batching_enabled())
+        rollback_backoff(false);
       sim_.cancel(difs_event_);
       sim_.cancel(slot_event_);
       sim_.cancel(nav_event_);
@@ -54,6 +76,10 @@ void Station::set_active(bool active) {
 void Station::resume_contention() {
   if (!active_) {
     state_ = State::kInactive;
+    return;
+  }
+  if (traffic_ != nullptr && !traffic_->has_data()) {
+    state_ = State::kNoData;  // parked; the source wakes us on arrival
     return;
   }
   const sim::Time now = sim_.now();
@@ -80,7 +106,11 @@ void Station::begin_ifs_wait(sim::Time) {
   eifs_pending_ = false;
   difs_event_ = sim_.schedule_after(wait, [this] {
     state_ = State::kBackoff;
-    schedule_slot();
+    if (batching_enabled()) {
+      begin_backoff(/*fresh=*/true);
+    } else {
+      schedule_slot();
+    }
   });
 }
 
@@ -90,10 +120,88 @@ void Station::schedule_slot() {
 
 void Station::slot_boundary() {
   assert(state_ == State::kBackoff);
-  if (strategy_->decide_transmit(rng_)) {
+  const bool tx = strategy_->decide_transmit(rng_);
+  if (tx) {
     commit_transmission();
   } else {
     schedule_slot();
+  }
+}
+
+void Station::begin_backoff(bool fresh) {
+  // Pre-draw the per-slot decisions this batch will need. The draw order
+  // is exactly the per-slot scheme's (one decide_transmit per boundary, no
+  // other strategy/RNG use can intervene while the channel is idle), so
+  // simulation results are bit-identical; rollback_backoff() undoes the
+  // draws a busy interruption proves premature.
+  backoff_origin_ = sim_.now();
+  if (fresh) {
+    anchor_time_ = backoff_origin_;
+    batch_limit_ = kMinBatchSlots;
+  } else {
+    batch_limit_ = std::min(batch_limit_ * 2, kMaxBatchSlots);
+    // The anchored entry lookback saturates at ~4.29 s (u32 ns); past that
+    // the tie-break key could no longer distinguish entry recency, so
+    // re-anchor here instead. Deterministic, and unreachable under every
+    // existing scheme (it needs > 4 s of continuous idle backoff).
+    if ((backoff_origin_ - anchor_time_) + params_.slot * batch_limit_ >=
+        sim::Duration::nanoseconds(INT64_C(0xFFFFFFFF))) {
+      anchor_time_ = backoff_origin_;
+      anchor_seq_ = 0;  // re-anchor to the schedule call below
+    }
+  }
+  backoff_rng_ = rng_;
+  strategy_->checkpoint_decision_state();
+  int k = 1;
+  bool transmit = strategy_->decide_transmit(rng_);
+  while (!transmit && k < batch_limit_) {
+    ++k;
+    transmit = strategy_->decide_transmit(rng_);
+  }
+  batch_planned_ = k;
+  batch_transmit_ = transmit;
+  // The decision event replaces the whole per-slot chain, so it must tie
+  // with same-instant events exactly as the chain's final event would:
+  // virtually scheduled one slot before it fires, by a chain entered at
+  // anchor_time_ with the entry event's insertion seq. (Same-boundary
+  // chains resolve as: fresher entry first, then entry schedule order.)
+  slot_event_ = sim_.schedule_anchored(
+      backoff_origin_ + params_.slot * k, params_.slot, anchor_time_,
+      fresh ? 0 : anchor_seq_, [this] { decision_boundary(); });
+  if (fresh || anchor_seq_ == 0) anchor_seq_ = slot_event_.sequence();
+}
+
+void Station::decision_boundary() {
+  assert(state_ == State::kBackoff);
+  if (batch_transmit_) {
+    commit_transmission();
+  } else {
+    // No "transmit" within the cap: this boundary is the next batch's
+    // origin (its draw is already consumed, matching per-slot history).
+    begin_backoff(/*fresh=*/false);
+  }
+}
+
+void Station::rollback_backoff(bool boundary_draw_counts) {
+  // A busy transition (or deactivation) interrupted the batch at `now`.
+  // The per-slot scheme would have consumed one draw per boundary that
+  // fired before the interruption: every boundary strictly before now,
+  // plus one at exactly now iff the trigger's event was scheduled after
+  // that boundary's event would have been (slot-committed transmissions
+  // are scheduled at the same instant they start; ACK/CTS/beacon starts
+  // were scheduled at least a SIFS — more than a slot — earlier and fire
+  // first, cancelling the boundary). Rewind and replay exactly that many.
+  const std::int64_t elapsed = (sim_.now() - backoff_origin_).ns();
+  const std::int64_t slot_ns = params_.slot.ns();
+  std::int64_t replay = elapsed / slot_ns;
+  if (replay > 0 && elapsed % slot_ns == 0 && !boundary_draw_counts) --replay;
+  assert(replay < batch_planned_);
+  rng_ = backoff_rng_;
+  strategy_->restore_decision_state();
+  for (std::int64_t i = 0; i < replay; ++i) {
+    const bool transmit = strategy_->decide_transmit(rng_);
+    (void)transmit;
+    assert(!transmit && "replayed draw diverged from the batch");
   }
 }
 
@@ -120,7 +228,8 @@ void Station::radio_transmit() {
     rts.seq = next_seq_++;
     rts.nav = params_.sifs + params_.cts_airtime() + params_.sifs +
               params_.data_airtime() + params_.sifs + params_.ack_airtime();
-    medium_.start_transmission(self_, rts, params_.rts_airtime());
+    medium_.start_transmission(self_, rts, params_.rts_airtime(),
+                               /*slot_committed=*/true);
 
     state_ = State::kWaitCts;
     cts_timeout_event_ = sim_.schedule_after(
@@ -128,10 +237,10 @@ void Station::radio_transmit() {
     return;
   }
 
-  transmit_data_frame();
+  transmit_data_frame(/*slot_committed=*/true);
 }
 
-void Station::transmit_data_frame() {
+void Station::transmit_data_frame(bool slot_committed) {
   const sim::Time now = sim_.now();
   idle_meter_.on_own_tx_start(now, params_.data_airtime());
   if (counters_ != nullptr) ++counters_->data_tx_attempts;
@@ -143,7 +252,8 @@ void Station::transmit_data_frame() {
   frame.payload_bits = params_.payload_bits;
   frame.seq = next_seq_++;
   frame.nav = params_.sifs + params_.ack_airtime();
-  medium_.start_transmission(self_, frame, params_.data_airtime());
+  medium_.start_transmission(self_, frame, params_.data_airtime(),
+                             slot_committed);
 
   state_ = State::kWaitAck;
   ack_timeout_event_ = sim_.schedule_after(
@@ -170,6 +280,12 @@ void Station::finish_exchange() {
 }
 
 void Station::on_channel_busy(sim::Time now) {
+  // Rewind the backoff batch BEFORE the idle-meter sample: the replayed
+  // draws belong to boundaries that preceded this transition, while the
+  // meter's sample callback (IdleSense's on_transmission_observed) fires
+  // at it — the per-slot scheme's exact order.
+  if (state_ == State::kBackoff && batching_enabled())
+    rollback_backoff(medium_.last_start_slot_committed());
   idle_meter_.on_sensed_busy(now);
   switch (state_) {
     case State::kDifsWait:
@@ -184,6 +300,7 @@ void Station::on_channel_busy(sim::Time now) {
       sim_.cancel(nav_event_);  // re-established at the next idle
       break;
     case State::kInactive:
+    case State::kNoData:
     case State::kTransmitting:
     case State::kWaitCts:
     case State::kWaitAck:
@@ -235,7 +352,8 @@ void Station::on_frame_received(const phy::Frame& frame, bool clean,
         // SIFS response: the data frame follows unconditionally.
         state_ = State::kTransmitting;
         sim_.schedule_after(params_.sifs, [this] {
-          if (state_ == State::kTransmitting) transmit_data_frame();
+          if (state_ == State::kTransmitting)
+            transmit_data_frame(/*slot_committed=*/false);
         });
       }
       return;
@@ -249,6 +367,8 @@ void Station::on_frame_received(const phy::Frame& frame, bool clean,
         sim_.cancel(ack_timeout_event_);
         if (counters_ != nullptr) ++counters_->successes;
         strategy_->on_success(rng_);
+        // The head packet's MAC journey ends with this ACK.
+        if (traffic_ != nullptr) traffic_->complete_head(now);
         finish_exchange();
       }
       return;

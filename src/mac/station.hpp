@@ -18,6 +18,23 @@
 // freeze semantics for counter-based strategies (counters persist inside the
 // strategy) and is immaterial for memoryless ones.
 //
+// Batched slot decisions: instead of one event per idle slot, the station
+// pre-draws the strategy's per-slot answers at backoff entry and schedules
+// a single decision event at the first "transmit" slot (capped at
+// kMaxBatchSlots, then re-batched). The decision event is seq-anchored one
+// slot before it fires (a no-op "hop" event) so its ordering against
+// same-instant events is identical to the per-slot scheme's, and a busy
+// interruption rewinds the RNG + strategy checkpoint and replays exactly
+// the draws the per-slot scheme would have consumed — behaviour and every
+// figure CSV stay byte-identical while idle backoff runs cost O(1) events.
+//
+// Traffic gating: with a traffic::TrafficSource attached the station only
+// contends while the source's queue holds a packet; it parks in kNoData
+// otherwise and the source wakes it on the empty -> non-empty transition.
+// An ACK completes the head packet (recording its queueing + access + ACK
+// delay). Without a source (the default) the station is saturated and the
+// code path is unchanged.
+//
 // Same-instant semantics: a station that decides to transmit at slot
 // boundary t commits immediately (state -> Transmitting) but the radio
 // starts via an event scheduled at the same time t. All slot decisions at t
@@ -38,6 +55,10 @@
 #include "stats/idle_slots.hpp"
 #include "util/rng.hpp"
 
+namespace wlan::traffic {
+class TrafficSource;
+}
+
 namespace wlan::mac {
 
 class Station final : public phy::MediumClient {
@@ -52,6 +73,10 @@ class Station final : public phy::MediumClient {
   /// Wires up ids after Medium registration; must precede start().
   void attach(phy::NodeId self, phy::NodeId ap,
               stats::NodeCounters* counters);
+
+  /// Attaches a finite traffic source (not owned; must outlive the
+  /// station). Must precede start(). nullptr (default) = saturated.
+  void set_traffic_source(traffic::TrafficSource* source);
 
   /// Begins contending at the current simulation time.
   void start();
@@ -77,12 +102,30 @@ class Station final : public phy::MediumClient {
   void on_frame_received(const phy::Frame& frame, bool clean,
                          sim::Time now) override;
 
+  /// Slot decisions pre-drawn per batch; a run with no "transmit" answer
+  /// re-batches from the capped boundary. The cap is a pure performance
+  /// knob — draws, boundaries, and event anchoring are identical for any
+  /// value — so it self-tunes: each backoff starts at kMinBatchSlots (a
+  /// busy interruption forfeits the batch's unused pre-draws, and dense
+  /// contention interrupts within a few slots) and doubles per
+  /// uninterrupted continuation up to kMaxBatchSlots (long idle runs
+  /// approach one event per 64 slots).
+  static constexpr int kMinBatchSlots = 8;
+  static constexpr int kMaxBatchSlots = 64;
+
+  /// WLAN_BATCH_SLOTS=0 selects the legacy one-event-per-idle-slot path
+  /// (default: batched). The two paths are behaviourally identical —
+  /// tests/test_traffic_integration.cpp asserts bit-equal results — the
+  /// knob exists so the equivalence stays checkable.
+  static bool batching_enabled();
+
  private:
   enum class State {
     kInactive,     // deactivated, not contending
+    kNoData,       // traffic queue empty; parked until an arrival
     kIdleWait,     // channel (or NAV) busy; waiting to go idle
     kDifsWait,     // channel idle; DIFS timer running
-    kBackoff,      // channel idle; slot boundaries running
+    kBackoff,      // channel idle; batched decision event pending
     kTransmitting, // own frame (RTS or data) on the air (committed)
     kWaitCts,      // RTS sent; CTS timer running
     kWaitAck,      // data sent; ACK timer running
@@ -90,11 +133,18 @@ class Station final : public phy::MediumClient {
 
   void resume_contention();
   void begin_ifs_wait(sim::Time now);
+  /// Starts a decision batch. `fresh` is true on backoff entry (from the
+  /// DIFS/EIFS expiry) and false when a capped batch continues — the
+  /// continuation keeps the entry's ordering anchor.
+  void begin_backoff(bool fresh);
+  void decision_boundary();
+  void rollback_backoff(bool boundary_draw_counts);
+  // Legacy per-slot path (WLAN_BATCH_SLOTS=0).
   void schedule_slot();
   void slot_boundary();
   void commit_transmission();
   void radio_transmit();
-  void transmit_data_frame();
+  void transmit_data_frame(bool slot_committed);
   void cts_timeout();
   void ack_timeout();
   void finish_exchange();
@@ -112,8 +162,23 @@ class Station final : public phy::MediumClient {
 
   State state_ = State::kInactive;
   bool active_ = false;
+  traffic::TrafficSource* traffic_ = nullptr;
   sim::EventId difs_event_;
+  /// The pending hop or decision event of the current backoff batch.
   sim::EventId slot_event_;
+  /// Backoff-batch bookkeeping: boundaries sit at backoff_origin_ + i*slot
+  /// (i = 1..batch_planned_); the pre-drawn outcome of the last boundary
+  /// is batch_transmit_, and backoff_rng_ / the strategy checkpoint rewind
+  /// an interrupted batch. anchor_time_/anchor_seq_ pin the decision
+  /// event's same-instant ordering to the backoff ENTRY (the per-slot
+  /// chain's resolution order), surviving capped-batch continuations.
+  sim::Time backoff_origin_ = sim::Time::zero();
+  sim::Time anchor_time_ = sim::Time::zero();
+  std::uint64_t anchor_seq_ = 0;
+  int batch_planned_ = 0;
+  int batch_limit_ = kMinBatchSlots;
+  bool batch_transmit_ = false;
+  util::Rng backoff_rng_{0};
   sim::EventId cts_timeout_event_;
   sim::EventId ack_timeout_event_;
   sim::EventId nav_event_;

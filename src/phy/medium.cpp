@@ -78,8 +78,9 @@ void Medium::interfere(NodeId victim_src, NodeId interferer, NodeId receiver) {
 }
 
 void Medium::start_transmission(NodeId src, const Frame& frame,
-                                sim::Duration airtime) {
+                                sim::Duration airtime, bool slot_committed) {
   if (!finalized_) throw std::logic_error("Medium: not finalized");
+  last_start_slot_committed_ = slot_committed;
   NodeRec& source = nodes_[static_cast<std::size_t>(src)];
   if (source.transmitting)
     throw std::logic_error("Medium: node already transmitting");
@@ -132,6 +133,9 @@ void Medium::start_transmission(NodeId src, const Frame& frame,
     NodeRec& obs = nodes_[static_cast<std::size_t>(o)];
     if (++obs.sensed_count == 1) obs.client->on_channel_busy(start);
   }
+  // The flag is only meaningful inside the synchronous busy cascade above;
+  // drop it so a later out-of-cascade read gets the conservative answer.
+  last_start_slot_committed_ = false;
 
   sim_.schedule_at(end, [this, src, id] { end_transmission(src, id); });
 }

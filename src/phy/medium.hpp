@@ -77,9 +77,19 @@ class Medium {
 
   /// Begins a transmission of `frame` lasting `airtime`. The source must not
   /// already be transmitting. Delivery and sensing callbacks are scheduled
-  /// automatically.
+  /// automatically. `slot_committed` marks a start whose radio event was
+  /// scheduled at this same instant by a slot-boundary commit (a station's
+  /// contention decision), as opposed to a SIFS response or beacon whose
+  /// event was scheduled at least a SIFS earlier — the distinction a
+  /// batched-backoff listener needs to replay its slot draws exactly (see
+  /// mac::Station::rollback_backoff).
   void start_transmission(NodeId src, const Frame& frame,
-                          sim::Duration airtime);
+                          sim::Duration airtime, bool slot_committed = false);
+
+  /// Whether the most recent start_transmission was slot-committed. Only
+  /// meaningful inside the synchronous on_channel_busy callbacks that
+  /// start triggers.
+  bool last_start_slot_committed() const { return last_start_slot_committed_; }
 
   std::size_t num_nodes() const { return nodes_.size(); }
   const Vec2& position(NodeId n) const {
@@ -141,6 +151,7 @@ class Medium {
   std::size_t words_per_tx_ = 0;
   bool finalized_ = false;
   double capture_ratio_ = 0.0;  // <= 0: no capture
+  bool last_start_slot_committed_ = false;
   std::uint64_t next_tx_id_ = 1;
   std::uint64_t tx_started_ = 0;
   std::uint64_t corrupt_deliveries_ = 0;

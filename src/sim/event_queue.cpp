@@ -6,7 +6,7 @@
 
 namespace wlan::sim {
 
-EventId EventQueue::schedule(Time t, Callback cb) {
+EventId EventQueue::schedule(Time t, Callback cb, OrderKey key) {
   const std::uint64_t seq = next_seq_++;
   std::uint32_t slot;
   if (free_.empty()) {
@@ -22,7 +22,9 @@ EventId EventQueue::schedule(Time t, Callback cb) {
   s.callback = std::move(cb);
   if (s.callback.heap_allocated()) ++heap_callbacks_;
 
-  heap_.push_back(HeapEntry{t.ns(), seq, slot});
+  heap_.push_back(HeapEntry{t.ns(),
+                            key.order_seq == 0 ? seq : key.order_seq, seq,
+                            slot, key.sched_lookback, key.entry_lookback});
   sift_up(heap_.size() - 1);
   ++live_;
   ++scheduled_;

@@ -21,6 +21,18 @@
 // Ordering is total and deterministic: ties on time are broken by insertion
 // sequence number, so two events scheduled for the same instant fire in the
 // order they were scheduled — important for slot-aligned MAC behaviour.
+//
+// Anchored ordering (the batched-backoff hook): schedule() also accepts a
+// virtual ordering key {sched_lookback, entry_lookback, order_seq}. Two
+// events firing at the same instant compare by
+//   (descending sched_lookback, ascending entry_lookback, order_seq),
+// which for normally scheduled events (sched_lookback = entry_lookback =
+// fire - schedule time, order_seq = seq) reduces EXACTLY to schedule order
+// — scheduled earlier means a larger lookback and a smaller seq — so the
+// historical tie-break is unchanged bit-for-bit. A caller eliminating
+// intermediate events (mac::Station's single per-backoff decision event)
+// passes the key its per-slot chain event would have had, and lands in the
+// same position among same-instant peers without those events existing.
 #pragma once
 
 #include <cstddef>
@@ -40,6 +52,11 @@ class EventId {
   constexpr bool valid() const { return seq_ != 0; }
   constexpr bool operator==(const EventId&) const = default;
 
+  /// The event's insertion sequence number (0 for a null handle). Used as
+  /// the `order_seq` anchor when re-scheduling a chain of anchored events
+  /// (see EventQueue::schedule).
+  constexpr std::uint64_t sequence() const { return seq_; }
+
  private:
   friend class EventQueue;
   constexpr EventId(std::uint32_t slot, std::uint64_t seq)
@@ -52,8 +69,31 @@ class EventQueue {
  public:
   using Callback = InlineFunction;
 
+  /// Same-time tie-break key (see the header comment). Lookbacks are
+  /// "fire time minus (virtual) schedule time" in ns, saturated to 32
+  /// bits (~4.29 s). Saturation never misorders normally scheduled
+  /// events (same-time normals fall through to order_seq = seq, which IS
+  /// schedule order); anchored callers must keep their entry lookback
+  /// below the clamp themselves (mac::Station re-anchors a backoff
+  /// approaching it) or accept seq-order resolution among clamped peers.
+  struct OrderKey {
+    std::uint32_t sched_lookback = 0;
+    std::uint32_t entry_lookback = 0;
+    std::uint64_t order_seq = 0;  // 0 = use the event's own seq
+
+    static std::uint32_t clamp_lookback(Duration d) {
+      const std::int64_t ns = d.ns();
+      if (ns <= 0) return 0;
+      if (ns >= static_cast<std::int64_t>(UINT32_MAX)) return UINT32_MAX;
+      return static_cast<std::uint32_t>(ns);
+    }
+  };
+
   /// Schedules `cb` at absolute time `t`. Returns a handle for cancel().
-  EventId schedule(Time t, Callback cb);
+  EventId schedule(Time t, Callback cb, OrderKey key);
+  EventId schedule(Time t, Callback cb) {
+    return schedule(t, std::move(cb), OrderKey());
+  }
 
   /// Cancels a pending event in O(1). Cancelling a null handle, an
   /// already-fired event, or an already-cancelled event is a safe no-op.
@@ -100,12 +140,16 @@ class EventQueue {
   Stats stats() const;
 
  private:
-  /// POD heap node; the order keys (time, seq) are stored inline so the
-  /// comparison never chases the slot pool.
+  /// POD heap node; every ordering key is stored inline so the comparison
+  /// never chases the slot pool. 40 bytes (was 24 before anchored
+  /// ordering); sift operations still touch only this contiguous array.
   struct HeapEntry {
     std::int64_t time_ns;
+    std::uint64_t order_seq;
     std::uint64_t seq;
     std::uint32_t slot;
+    std::uint32_t sched_lookback;
+    std::uint32_t entry_lookback;
   };
 
   /// Pooled callback slot. `seq` identifies the live occupant; 0 = free.
@@ -118,7 +162,16 @@ class EventQueue {
 
   static bool earlier(const HeapEntry& a, const HeapEntry& b) {
     if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
-    return a.seq < b.seq;
+    // Scheduled (virtually) longer ago fires first; for normal events this
+    // IS insertion order, because an earlier schedule call has both the
+    // larger lookback and the smaller seq.
+    if (a.sched_lookback != b.sched_lookback)
+      return a.sched_lookback > b.sched_lookback;
+    // Later backoff entry fires first (the per-slot chain resolution: a
+    // fresh entrant's expiry callback precedes standing chains).
+    if (a.entry_lookback != b.entry_lookback)
+      return a.entry_lookback < b.entry_lookback;
+    return a.order_seq < b.order_seq;
   }
 
   void sift_up(std::size_t i);

@@ -141,8 +141,18 @@ class InlineFunction {
       ops_ = other.ops_;
       if (ops_->trivial) {
         // Fixed-size copy: always valid (both buffers are kInlineCapacity)
-        // and cheaper than an indirect call per relocation.
+        // and cheaper than an indirect call per relocation. Reading the
+        // uninitialized tail beyond the callable's own size is deliberate,
+        // so silence GCC's (correct but irrelevant) analysis of it.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
         std::memcpy(storage_, other.storage_, kInlineCapacity);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
       } else {
         ops_->relocate(other.storage_, storage_);
       }

@@ -7,12 +7,29 @@ namespace wlan::sim {
 
 EventId Simulator::schedule_at(Time t, EventQueue::Callback cb) {
   assert(t >= now_ && "scheduling into the past");
-  return queue_.schedule(t, std::move(cb));
+  EventQueue::OrderKey key;
+  key.sched_lookback = EventQueue::OrderKey::clamp_lookback(t - now_);
+  key.entry_lookback = key.sched_lookback;
+  return queue_.schedule(t, std::move(cb), key);
 }
 
 EventId Simulator::schedule_after(Duration d, EventQueue::Callback cb) {
   assert(d >= Duration::zero());
-  return queue_.schedule(now_ + d, std::move(cb));
+  EventQueue::OrderKey key;
+  key.sched_lookback = EventQueue::OrderKey::clamp_lookback(d);
+  key.entry_lookback = key.sched_lookback;
+  return queue_.schedule(now_ + d, std::move(cb), key);
+}
+
+EventId Simulator::schedule_anchored(Time t, Duration sched_lookback,
+                                     Time entry_time, std::uint64_t entry_seq,
+                                     EventQueue::Callback cb) {
+  assert(t >= now_ && "scheduling into the past");
+  EventQueue::OrderKey key;
+  key.sched_lookback = EventQueue::OrderKey::clamp_lookback(sched_lookback);
+  key.entry_lookback = EventQueue::OrderKey::clamp_lookback(t - entry_time);
+  key.order_seq = entry_seq;
+  return queue_.schedule(t, std::move(cb), key);
 }
 
 void Simulator::cancel(EventId id) { queue_.cancel(id); }

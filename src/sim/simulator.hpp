@@ -27,6 +27,16 @@ class Simulator {
   /// Schedules `cb` after a non-negative delay.
   EventId schedule_after(Duration d, EventQueue::Callback cb);
 
+  /// Schedules `cb` at `t` with an explicit same-instant ordering anchor:
+  /// the event ties with other events at `t` as if it had been scheduled
+  /// `sched_lookback` before `t` by a callback chain entered at
+  /// `entry_time` with insertion seq `entry_seq` (0 = this event's own
+  /// seq). Lets one event stand in for an eliminated chain of events
+  /// without perturbing deterministic tie-breaks (see EventQueue).
+  EventId schedule_anchored(Time t, Duration sched_lookback, Time entry_time,
+                            std::uint64_t entry_seq,
+                            EventQueue::Callback cb);
+
   /// Cancels a pending event (no-op on null/fired handles).
   void cancel(EventId id);
 

@@ -1,0 +1,108 @@
+#include "stats/delay.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace wlan::stats {
+
+DelayHistogram::DelayHistogram() : counts_(kNumBuckets, 0) {}
+
+std::size_t DelayHistogram::bucket_of(std::uint64_t ns) {
+  std::size_t idx;
+  if (ns < kSubBuckets) {
+    idx = static_cast<std::size_t>(ns);
+  } else {
+    // Octave = position of the most significant bit; the top 5 bits below
+    // it select the log-linear sub-bucket.
+    const int msb = std::bit_width(ns) - 1;  // >= 5
+    const int shift = msb - 5;
+    idx = static_cast<std::size_t>(kSubBuckets) *
+              static_cast<std::size_t>(shift + 1) +
+          static_cast<std::size_t>((ns >> shift) - kSubBuckets);
+  }
+  return std::min(idx, kNumBuckets - 1);
+}
+
+std::uint64_t DelayHistogram::bucket_low(std::size_t b) {
+  if (b < kSubBuckets) return b;
+  const std::size_t shift = b / kSubBuckets - 1;
+  const std::uint64_t sub = b % kSubBuckets + kSubBuckets;
+  return sub << shift;
+}
+
+std::uint64_t DelayHistogram::bucket_width(std::size_t b) {
+  if (b < kSubBuckets) return 1;
+  return std::uint64_t{1} << (b / kSubBuckets - 1);
+}
+
+void DelayHistogram::record(sim::Duration delay) {
+  const std::uint64_t ns =
+      delay.ns() > 0 ? static_cast<std::uint64_t>(delay.ns()) : 0;
+  ++counts_[bucket_of(ns)];
+  if (count_ == 0) {
+    min_ns_ = max_ns_ = ns;
+  } else {
+    min_ns_ = std::min(min_ns_, ns);
+    max_ns_ = std::max(max_ns_, ns);
+  }
+  ++count_;
+  sum_ns_ += ns;
+}
+
+double DelayHistogram::mean_s() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_ns_) / static_cast<double>(count_) / 1e9;
+}
+
+double DelayHistogram::min_s() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(min_ns_) / 1e9;
+}
+
+double DelayHistogram::max_s() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(max_ns_) / 1e9;
+}
+
+double DelayHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    if (cum + counts_[b] >= target) {
+      // Linear interpolation across the bucket's span: the k-th of n
+      // samples in [lo, lo + width) sits at lo + width * k / n.
+      const double frac = static_cast<double>(target - cum) /
+                          static_cast<double>(counts_[b]);
+      const double ns = static_cast<double>(bucket_low(b)) +
+                        static_cast<double>(bucket_width(b)) * frac;
+      return ns / 1e9;
+    }
+    cum += counts_[b];
+  }
+  return static_cast<double>(max_ns_) / 1e9;  // unreachable
+}
+
+void DelayHistogram::merge(const DelayHistogram& other) {
+  for (std::size_t b = 0; b < kNumBuckets; ++b) counts_[b] += other.counts_[b];
+  if (other.count_ > 0) {
+    min_ns_ = count_ == 0 ? other.min_ns_ : std::min(min_ns_, other.min_ns_);
+    max_ns_ = count_ == 0 ? other.max_ns_ : std::max(max_ns_, other.max_ns_);
+  }
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+}
+
+void DelayHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ns_ = 0;
+  min_ns_ = 0;
+  max_ns_ = 0;
+}
+
+}  // namespace wlan::stats

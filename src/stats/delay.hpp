@@ -1,0 +1,64 @@
+// Per-packet delay statistics: exact mean plus fixed-bucket log-histogram
+// percentiles (p50/p95/p99 for the load-sweep drivers).
+//
+// The bucketing is HdrHistogram-style and purely integral — value 0..31 ns
+// maps to its own bucket, and above that each octave splits into 32
+// log-linear sub-buckets (~3 % relative resolution) — so recording and
+// quantile extraction involve no libm calls and are bit-identical across
+// platforms and thread counts, like everything else in this repo.
+// Percentiles interpolate linearly inside the winning bucket, which makes
+// them hand-computable in unit tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wlan::stats {
+
+class DelayHistogram {
+ public:
+  /// 32 sub-buckets per octave of nanoseconds; 2048 buckets cover the
+  /// full 63-bit ns range (the defensive clamp in bucket_of never fires).
+  static constexpr std::uint64_t kSubBuckets = 32;
+  static constexpr std::size_t kNumBuckets = 2048;
+
+  DelayHistogram();
+
+  void record(sim::Duration delay);
+
+  std::uint64_t count() const { return count_; }
+
+  /// Exact mean of recorded delays, seconds. 0 when empty.
+  double mean_s() const;
+
+  /// Exact extremes (not bucketed), seconds. 0 when empty.
+  double min_s() const;
+  double max_s() const;
+
+  /// Quantile q in [0, 1], seconds: finds the bucket holding the
+  /// ceil(q * count)-th smallest sample (rank >= 1) and interpolates
+  /// linearly within it. 0 when empty.
+  double quantile(double q) const;
+
+  /// Merges another histogram into this one (per-station -> whole-run).
+  void merge(const DelayHistogram& other);
+
+  void reset();
+
+  /// Bucket index for a delay of `ns` nanoseconds (exposed for tests).
+  static std::size_t bucket_of(std::uint64_t ns);
+  /// Inclusive lower edge / width of bucket `b`, nanoseconds.
+  static std::uint64_t bucket_low(std::size_t b);
+  static std::uint64_t bucket_width(std::size_t b);
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+  std::uint64_t min_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+}  // namespace wlan::stats

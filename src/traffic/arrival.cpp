@@ -1,0 +1,146 @@
+#include "traffic/arrival.hpp"
+
+#include <stdexcept>
+
+namespace wlan::traffic {
+
+TrafficConfig TrafficConfig::cbr(double mbps, std::size_t capacity) {
+  TrafficConfig c;
+  c.model = TrafficModel::kCbr;
+  c.offered_load_mbps = mbps;
+  c.queue_capacity = capacity;
+  return c;
+}
+
+TrafficConfig TrafficConfig::poisson(double mbps, std::size_t capacity) {
+  TrafficConfig c;
+  c.model = TrafficModel::kPoisson;
+  c.offered_load_mbps = mbps;
+  c.queue_capacity = capacity;
+  return c;
+}
+
+TrafficConfig TrafficConfig::on_off(double mbps, double mean_on_s,
+                                    double mean_off_s, std::size_t capacity) {
+  TrafficConfig c;
+  c.model = TrafficModel::kOnOff;
+  c.offered_load_mbps = mbps;
+  c.mean_on_s = mean_on_s;
+  c.mean_off_s = mean_off_s;
+  c.queue_capacity = capacity;
+  return c;
+}
+
+TrafficConfig TrafficConfig::trace(std::vector<double> gaps_s, bool repeat,
+                                   std::size_t capacity) {
+  TrafficConfig c;
+  c.model = TrafficModel::kTrace;
+  c.trace_gaps_s = std::move(gaps_s);
+  c.trace_repeat = repeat;
+  c.queue_capacity = capacity;
+  return c;
+}
+
+CbrArrivals::CbrArrivals(sim::Duration gap) : gap_(gap) {
+  if (gap <= sim::Duration::zero())
+    throw std::invalid_argument("CbrArrivals: gap must be positive");
+}
+
+sim::Duration CbrArrivals::next_gap(util::Rng&) { return gap_; }
+
+PoissonArrivals::PoissonArrivals(sim::Duration mean_gap)
+    : mean_s_(mean_gap.s()) {
+  if (mean_gap <= sim::Duration::zero())
+    throw std::invalid_argument("PoissonArrivals: mean gap must be positive");
+}
+
+sim::Duration PoissonArrivals::next_gap(util::Rng& rng) {
+  return sim::Duration::seconds(rng.exponential(mean_s_));
+}
+
+OnOffArrivals::OnOffArrivals(sim::Duration peak_gap, double mean_on_s,
+                             double mean_off_s)
+    : peak_gap_s_(peak_gap.s()), mean_on_s_(mean_on_s),
+      mean_off_s_(mean_off_s) {
+  if (peak_gap <= sim::Duration::zero())
+    throw std::invalid_argument("OnOffArrivals: peak gap must be positive");
+  if (mean_on_s <= 0.0 || mean_off_s < 0.0)
+    throw std::invalid_argument("OnOffArrivals: bad on/off durations");
+}
+
+sim::Duration OnOffArrivals::next_gap(util::Rng& rng) {
+  // Consume the current burst at the peak rate; when it runs out, draw the
+  // silence and the next burst length, and carry the packet over the gap.
+  double gap = peak_gap_s_;
+  double silence = 0.0;
+  burst_left_s_ -= peak_gap_s_;
+  while (burst_left_s_ <= 0.0) {
+    silence += rng.exponential(mean_off_s_);
+    burst_left_s_ += rng.exponential(mean_on_s_);
+  }
+  return sim::Duration::seconds(gap + silence);
+}
+
+TraceArrivals::TraceArrivals(std::vector<sim::Duration> gaps, bool repeat)
+    : gaps_(std::move(gaps)), repeat_(repeat) {
+  if (gaps_.empty())
+    throw std::invalid_argument("TraceArrivals: empty trace");
+  for (const auto g : gaps_)
+    if (g < sim::Duration::zero())
+      throw std::invalid_argument("TraceArrivals: negative gap in trace");
+}
+
+sim::Duration TraceArrivals::next_gap(util::Rng&) {
+  if (next_ >= gaps_.size()) {
+    if (!repeat_) return sim::Duration::nanoseconds(-1);
+    next_ = 0;
+  }
+  return gaps_[next_++];
+}
+
+sim::Duration mean_interarrival(const TrafficConfig& config,
+                                std::int64_t payload_bits) {
+  if (config.offered_load_mbps <= 0.0)
+    throw std::invalid_argument("TrafficConfig: offered load must be > 0");
+  const double gap_s = static_cast<double>(payload_bits) /
+                       (config.offered_load_mbps * 1e6);
+  return sim::Duration::seconds(gap_s);
+}
+
+std::unique_ptr<ArrivalProcess> make_arrival_process(
+    const TrafficConfig& config, std::int64_t payload_bits) {
+  switch (config.model) {
+    case TrafficModel::kSaturated:
+      throw std::invalid_argument(
+          "make_arrival_process: saturated stations have no generator");
+    case TrafficModel::kCbr:
+      return std::make_unique<CbrArrivals>(
+          mean_interarrival(config, payload_bits));
+    case TrafficModel::kPoisson:
+      return std::make_unique<PoissonArrivals>(
+          mean_interarrival(config, payload_bits));
+    case TrafficModel::kOnOff: {
+      // Peak in-burst rate that averages to offered_load_mbps across the
+      // on/off duty cycle.
+      const double duty =
+          config.mean_on_s / (config.mean_on_s + config.mean_off_s);
+      const sim::Duration peak_gap = sim::Duration::seconds(
+          mean_interarrival(config, payload_bits).s() * duty);
+      if (peak_gap <= sim::Duration::zero())
+        throw std::invalid_argument("TrafficConfig: on/off peak gap is zero");
+      return std::make_unique<OnOffArrivals>(peak_gap, config.mean_on_s,
+                                             config.mean_off_s);
+    }
+    case TrafficModel::kTrace: {
+      std::vector<sim::Duration> gaps;
+      gaps.reserve(config.trace_gaps_s.size());
+      for (const double g : config.trace_gaps_s)
+        gaps.push_back(sim::Duration::seconds(g));
+      return std::make_unique<TraceArrivals>(std::move(gaps),
+                                             config.trace_repeat);
+    }
+  }
+  throw std::logic_error("make_arrival_process: unknown model");
+}
+
+}  // namespace wlan::traffic

@@ -1,0 +1,155 @@
+// Arrival-process generators for the traffic layer.
+//
+// Every driver before this layer ran fully backlogged ("saturated")
+// stations, so the reproduction could only speak to saturation throughput.
+// An ArrivalProcess turns a station into a finite source: it emits the gap
+// to the next packet arrival, and traffic::TrafficSource feeds those
+// packets into a bounded per-station queue that the MAC drains.
+//
+// Determinism: a generator draws exclusively from the util::Rng handed to
+// next_gap(), and util::Rng is specified bit-for-bit — so a (seed, stream)
+// pair reproduces an arrival stream exactly on any platform and any thread
+// count (each station's source owns an independent stream).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace wlan::traffic {
+
+/// Which source model a station runs. kSaturated is the historical default:
+/// no generator, no queue, the station always has a frame for the AP.
+enum class TrafficModel {
+  kSaturated,
+  kCbr,      // constant bit rate: equal gaps
+  kPoisson,  // exponential gaps (memoryless)
+  kOnOff,    // bursty: CBR bursts separated by exponential silences
+  kTrace,    // deterministic replay of a recorded gap sequence
+};
+
+/// Plain-data description of a station's offered load. Lives inside
+/// exp::ScenarioConfig so sweep jobs can copy it across threads freely.
+struct TrafficConfig {
+  TrafficModel model = TrafficModel::kSaturated;
+
+  /// Offered PAYLOAD load per station in Mb/s (averaged over on and off
+  /// periods for kOnOff). The packet size is the MAC payload
+  /// (WifiParams::payload_bits), so the mean inter-arrival gap is
+  /// payload_bits / (offered_load_mbps * 1e6) seconds.
+  double offered_load_mbps = 1.0;
+
+  /// kOnOff: mean burst / silence durations (both exponential). During a
+  /// burst packets arrive back-to-back at the peak rate that makes the
+  /// long-run average equal offered_load_mbps:
+  /// peak = offered * (mean_on + mean_off) / mean_on.
+  double mean_on_s = 0.05;
+  double mean_off_s = 0.20;
+
+  /// kTrace: inter-arrival gaps in seconds, replayed in order. When
+  /// trace_repeat is set the sequence wraps around; otherwise the source
+  /// goes silent after the last gap.
+  std::vector<double> trace_gaps_s;
+  bool trace_repeat = true;
+
+  /// Bounded FIFO depth (packets). Arrivals beyond this are dropped and
+  /// counted (tail drop).
+  std::size_t queue_capacity = 64;
+
+  bool saturated() const { return model == TrafficModel::kSaturated; }
+
+  /// True when the model actually reads offered_load_mbps (everything but
+  /// saturated stations and literal trace replay) — the precondition for
+  /// sweeping a load axis over this config.
+  bool load_driven() const {
+    return model == TrafficModel::kCbr || model == TrafficModel::kPoisson ||
+           model == TrafficModel::kOnOff;
+  }
+
+  static TrafficConfig cbr(double mbps, std::size_t capacity = 64);
+  static TrafficConfig poisson(double mbps, std::size_t capacity = 64);
+  static TrafficConfig on_off(double mbps, double mean_on_s,
+                              double mean_off_s, std::size_t capacity = 64);
+  static TrafficConfig trace(std::vector<double> gaps_s, bool repeat = true,
+                             std::size_t capacity = 64);
+};
+
+/// One packet-arrival generator. Stateful (kOnOff burst phase, kTrace
+/// cursor) but isolated: all randomness comes from the Rng argument.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Gap from the previous arrival (or from start()) to the next one.
+  /// Returns a negative duration to signal "no further arrivals" (a
+  /// non-repeating trace that ran out).
+  virtual sim::Duration next_gap(util::Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class CbrArrivals final : public ArrivalProcess {
+ public:
+  explicit CbrArrivals(sim::Duration gap);
+  sim::Duration next_gap(util::Rng& rng) override;
+  std::string name() const override { return "CBR"; }
+
+ private:
+  sim::Duration gap_;
+};
+
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(sim::Duration mean_gap);
+  sim::Duration next_gap(util::Rng& rng) override;
+  std::string name() const override { return "Poisson"; }
+
+ private:
+  double mean_s_;
+};
+
+/// Exponential on/off envelope over a CBR in-burst process. The first
+/// burst starts after one exponential silence, so sources with different
+/// streams desynchronize immediately.
+class OnOffArrivals final : public ArrivalProcess {
+ public:
+  OnOffArrivals(sim::Duration peak_gap, double mean_on_s, double mean_off_s);
+  sim::Duration next_gap(util::Rng& rng) override;
+  std::string name() const override { return "OnOff"; }
+
+ private:
+  double peak_gap_s_;
+  double mean_on_s_;
+  double mean_off_s_;
+  /// Remaining time in the current burst; <= 0 means "between bursts".
+  double burst_left_s_ = 0.0;
+};
+
+class TraceArrivals final : public ArrivalProcess {
+ public:
+  TraceArrivals(std::vector<sim::Duration> gaps, bool repeat);
+  sim::Duration next_gap(util::Rng& rng) override;
+  std::string name() const override { return "Trace"; }
+
+ private:
+  std::vector<sim::Duration> gaps_;
+  bool repeat_;
+  std::size_t next_ = 0;
+};
+
+/// Mean inter-arrival gap implied by `config` for `payload_bits`-sized
+/// packets. Valid for every model except kSaturated/kTrace.
+sim::Duration mean_interarrival(const TrafficConfig& config,
+                                std::int64_t payload_bits);
+
+/// Builds the generator `config` describes. Throws std::invalid_argument
+/// for kSaturated (no generator exists), a non-positive load, or an empty
+/// trace.
+std::unique_ptr<ArrivalProcess> make_arrival_process(
+    const TrafficConfig& config, std::int64_t payload_bits);
+
+}  // namespace wlan::traffic

@@ -1,0 +1,68 @@
+#include "traffic/queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wlan::traffic {
+
+PacketQueue::PacketQueue(std::size_t capacity) : buffer_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("PacketQueue: capacity must be >= 1");
+}
+
+void PacketQueue::account(sim::Time now) {
+  assert(now >= last_change_);
+  occupancy_ns_ += static_cast<std::uint64_t>((now - last_change_).ns()) *
+                   static_cast<std::uint64_t>(size_);
+  last_change_ = now;
+}
+
+bool PacketQueue::push(sim::Time now) {
+  ++arrivals_;
+  if (size_ == buffer_.size()) {
+    ++drops_;
+    return false;
+  }
+  account(now);
+  buffer_[(head_ + size_) % buffer_.size()] = Packet{now};
+  ++size_;
+  return true;
+}
+
+const Packet& PacketQueue::front() const {
+  assert(size_ > 0 && "front() on an empty PacketQueue");
+  return buffer_[head_];
+}
+
+void PacketQueue::pop(sim::Time now) {
+  assert(size_ > 0 && "pop() on an empty PacketQueue");
+  account(now);
+  head_ = (head_ + 1) % buffer_.size();
+  --size_;
+}
+
+double PacketQueue::drop_rate() const {
+  return arrivals_ == 0
+             ? 0.0
+             : static_cast<double>(drops_) / static_cast<double>(arrivals_);
+}
+
+double PacketQueue::mean_occupancy(sim::Time now) const {
+  const std::int64_t span = (now - stats_start_).ns();
+  if (span <= 0) return static_cast<double>(size_);
+  // Close the open interval [last_change_, now) without mutating state.
+  const std::uint64_t integral =
+      occupancy_ns_ + static_cast<std::uint64_t>((now - last_change_).ns()) *
+                          static_cast<std::uint64_t>(size_);
+  return static_cast<double>(integral) / static_cast<double>(span);
+}
+
+void PacketQueue::reset_stats(sim::Time now) {
+  arrivals_ = 0;
+  drops_ = 0;
+  occupancy_ns_ = 0;
+  stats_start_ = now;
+  last_change_ = now;
+}
+
+}  // namespace wlan::traffic

@@ -1,0 +1,72 @@
+// Bounded per-station FIFO with drop and occupancy accounting.
+//
+// The queue is a fixed-capacity ring buffer: a station enqueues at packet
+// arrival (tail-dropping when full) and dequeues the head when the MAC
+// exchange for it completes. Besides the packets themselves it integrates
+// occupancy over time (for mean queue length) and counts arrivals/drops —
+// the denominators and numerators of the drop-rate and delay metrics the
+// load-sweep drivers report. All counters reset at the warm-up boundary
+// without touching queued packets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wlan::traffic {
+
+/// One queued MAC payload. The enqueue instant is the start of the
+/// per-packet delay clock (queueing + channel access + retries + airtime).
+struct Packet {
+  sim::Time enqueued;
+};
+
+class PacketQueue {
+ public:
+  explicit PacketQueue(std::size_t capacity);
+
+  /// Enqueues a packet arriving at `now`; returns false (and counts a
+  /// drop) when the queue is full.
+  bool push(sim::Time now);
+
+  /// Head packet. Requires !empty().
+  const Packet& front() const;
+
+  /// Removes the head at `now` (its exchange completed). Requires !empty().
+  void pop(sim::Time now);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buffer_.size(); }
+
+  /// Counters since the last reset_stats().
+  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t drops() const { return drops_; }
+
+  /// Fraction of arrivals dropped; 0 when nothing arrived.
+  double drop_rate() const;
+
+  /// Time-averaged queue length over [last reset_stats(), now].
+  double mean_occupancy(sim::Time now) const;
+
+  /// Zeroes arrivals/drops and restarts the occupancy integral at `now`
+  /// (used when discarding a warm-up interval). Queued packets stay.
+  void reset_stats(sim::Time now);
+
+ private:
+  /// Closes the occupancy integral up to `now` before a size change.
+  void account(sim::Time now);
+
+  std::vector<Packet> buffer_;  // ring storage, fixed at construction
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t drops_ = 0;
+  sim::Time stats_start_ = sim::Time::zero();
+  sim::Time last_change_ = sim::Time::zero();
+  /// Integral of size over time, in packet-nanoseconds.
+  std::uint64_t occupancy_ns_ = 0;
+};
+
+}  // namespace wlan::traffic

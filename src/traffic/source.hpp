@@ -1,0 +1,81 @@
+// TrafficSource: one station's packet source — generator → bounded queue.
+//
+//            next_gap()                 push(now)              MAC drains
+//   ArrivalProcess ──► arrival event ──► PacketQueue ──► Station (head-of-
+//   (CBR/Poisson/        (self-re-        (tail drop        line packet per
+//    OnOff/Trace)         scheduling)      + counters)       DCF exchange)
+//
+// The source owns the arrival generator, the queue, and the per-packet
+// delay histogram. mac::Station holds a raw pointer: when the queue goes
+// empty → non-empty the source invokes the wake callback so the station
+// re-enters contention, and when an exchange completes the station calls
+// complete_head() — which pops the packet and records its total MAC delay
+// (queueing + access + retries + airtime + ACK).
+//
+// Arrivals draw from a dedicated util::Rng stream, so the arrival pattern
+// of station i is independent of every MAC-layer draw and identical across
+// thread counts and repeated runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "stats/delay.hpp"
+#include "traffic/arrival.hpp"
+#include "traffic/queue.hpp"
+#include "util/rng.hpp"
+
+namespace wlan::traffic {
+
+class TrafficSource {
+ public:
+  /// Builds the generator described by `config` (must not be saturated).
+  TrafficSource(sim::Simulator& simulator, const TrafficConfig& config,
+                std::int64_t payload_bits, util::Rng rng);
+
+  TrafficSource(const TrafficSource&) = delete;
+  TrafficSource& operator=(const TrafficSource&) = delete;
+
+  /// Invoked whenever the queue transitions empty -> non-empty (a parked
+  /// station resumes contention). Set before start().
+  void set_wake_callback(std::function<void()> cb) { wake_cb_ = std::move(cb); }
+
+  /// Schedules the first arrival one generator gap from now.
+  void start();
+
+  const PacketQueue& queue() const { return queue_; }
+  PacketQueue& queue() { return queue_; }
+
+  bool has_data() const { return !queue_.empty(); }
+
+  /// The head packet's exchange completed at `now`: records its delay and
+  /// pops it. Requires has_data().
+  void complete_head(sim::Time now);
+
+  const stats::DelayHistogram& delays() const { return delays_; }
+
+  /// Arrivals since the last reset (dropped ones included).
+  std::uint64_t arrivals() const { return queue_.arrivals(); }
+  std::uint64_t drops() const { return queue_.drops(); }
+
+  /// Discards delay samples and queue counters (warm-up boundary). Queued
+  /// packets keep their true enqueue times, so packets straddling the
+  /// boundary still measure their full delay.
+  void reset_stats(sim::Time now);
+
+ private:
+  void schedule_next_arrival();
+  void on_arrival();
+
+  sim::Simulator& sim_;
+  std::unique_ptr<ArrivalProcess> process_;
+  PacketQueue queue_;
+  stats::DelayHistogram delays_;
+  util::Rng rng_;
+  std::function<void()> wake_cb_;
+  bool started_ = false;
+};
+
+}  // namespace wlan::traffic

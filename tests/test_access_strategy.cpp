@@ -316,4 +316,56 @@ TEST(IdleSense, Validation) {
   EXPECT_THROW(core::IdleSenseStrategy{bad2}, std::invalid_argument);
 }
 
+// The batched-backoff contract: checkpoint + restore + replay with the
+// same RNG reproduces decide_transmit's state and answers draw-for-draw.
+TEST(DecisionCheckpoint, DcfRestoreRewindsCounterAndInitialDraw) {
+  StandardDcfStrategy s{WifiParams::ns3_like()};
+  util::Rng rng(11, 2);
+  s.checkpoint_decision_state();  // before the very first (initial) draw
+  util::Rng pre_draw_rng = rng;
+  std::vector<bool> first;
+  for (int i = 0; i < 6; ++i) first.push_back(s.decide_transmit(rng));
+  const auto counter_after = s.counter();
+  s.restore_decision_state();
+  rng = pre_draw_rng;
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(s.decide_transmit(rng), first[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(s.counter(), counter_after);
+}
+
+TEST(DecisionCheckpoint, DcfPartialReplayAdvancesExactly) {
+  StandardDcfStrategy s{WifiParams::ns3_like()};
+  util::Rng rng(11, 2);
+  // Consume the initial draw so the counter is live, then checkpoint.
+  (void)s.decide_transmit(rng);
+  const auto counter0 = s.counter();
+  s.checkpoint_decision_state();
+  util::Rng snapshot = rng;
+  for (int i = 0; i < 4; ++i) (void)s.decide_transmit(rng);
+  // Rollback and replay only 2 of the 4: counter rewinds by exactly 2.
+  s.restore_decision_state();
+  rng = snapshot;
+  for (int i = 0; i < 2; ++i) (void)s.decide_transmit(rng);
+  EXPECT_EQ(s.counter() + 2, counter0);
+}
+
+TEST(DecisionCheckpoint, StatelessStrategiesAreReplaySafeByDefault) {
+  // p-persistent and RandomReset mutate nothing in decide_transmit; a
+  // rewound RNG alone must reproduce their answers.
+  PPersistentStrategy p(0.3, 1.0, /*adaptive=*/false);
+  RandomResetStrategy r(WifiParams::ns3_like(), 1, 0.8, /*adaptive=*/false);
+  util::Rng rng(9, 4);
+  for (AccessStrategy* s : {static_cast<AccessStrategy*>(&p),
+                            static_cast<AccessStrategy*>(&r)}) {
+    s->checkpoint_decision_state();
+    util::Rng snapshot = rng;
+    std::vector<bool> first;
+    for (int i = 0; i < 16; ++i) first.push_back(s->decide_transmit(rng));
+    s->restore_decision_state();
+    rng = snapshot;
+    for (int i = 0; i < 16; ++i)
+      EXPECT_EQ(s->decide_transmit(rng), first[static_cast<std::size_t>(i)]);
+  }
+}
+
 }  // namespace
