@@ -7,11 +7,16 @@ google-benchmark's --benchmark_out JSON (bench_micro_substrate).
 
 Usage:
   compare_bench.py BASELINE CURRENT [--max-regress 0.10] [--advisory]
-                   [--skip-identity]
+                   [--skip-identity] [--case-threshold NAME=FRACTION ...]
 
 For every case present in both files, the "higher is better" metric
 (items_per_second / sim_seconds_per_wall_second) is compared; a drop of
-more than --max-regress (default 10 %) is a regression. Exit codes:
+more than --max-regress (default 10 %) is a regression.
+--case-threshold overrides the allowed drop for one case (repeatable),
+e.g. --case-threshold medium_dense=0.25 for a noisy microbenchmark.
+Cases present in the CURRENT file but absent from the baseline are new
+since the baseline was recorded: they are reported as warnings (never
+errors), pointing at a baseline re-record. Exit codes:
 
   0  no regression (or --advisory)
   1  perf regression beyond the threshold
@@ -61,7 +66,23 @@ def main():
     ap.add_argument("--skip-identity", action="store_true",
                     help="do not compare series hashes (use across "
                          "machines/compilers)")
+    ap.add_argument("--case-threshold", action="append", default=[],
+                    metavar="NAME=FRACTION",
+                    help="per-case allowed fractional drop, overriding "
+                         "--max-regress (repeatable)")
     args = ap.parse_args()
+
+    case_thresholds = {}
+    for spec in args.case_threshold:
+        name, sep, value = spec.partition("=")
+        try:
+            if not sep:
+                raise ValueError
+            case_thresholds[name] = float(value)
+        except ValueError:
+            print(f"error: bad --case-threshold {spec!r} "
+                  f"(want NAME=FRACTION)", file=sys.stderr)
+            return 1
 
     base_vals, base_hashes, _ = load_cases(args.baseline)
     cur_vals, cur_hashes, cur_identity_ok = load_cases(args.current)
@@ -96,18 +117,28 @@ def main():
     for name in common:
         base, cur = base_vals[name], cur_vals[name]
         ratio = cur / base if base > 0 else float("inf")
+        threshold = case_thresholds.get(name, args.max_regress)
         flag = ""
-        if ratio < 1.0 - args.max_regress:
+        if ratio < 1.0 - threshold:
             regressions.append(name)
             flag = "  << REGRESSION"
-        elif ratio > 1.0 + args.max_regress:
+        elif ratio > 1.0 + threshold:
             flag = "  (improved)"
         print(f"{name:<{width}}  base {base:>12.6g}  cur {cur:>12.6g}  "
               f"{ratio:6.2f}x{flag}")
 
-    only = sorted((set(base_vals) | set(cur_vals)) - set(common))
-    if only:
-        print(f"(cases present in only one file, ignored: {', '.join(only)})")
+    unknown = sorted(set(case_thresholds) - set(common))
+    if unknown:
+        print(f"(case thresholds naming no compared case, ignored: "
+              f"{', '.join(unknown)})")
+    new_only = sorted(set(cur_vals) - set(base_vals))
+    if new_only:
+        print(f"WARNING: {len(new_only)} case(s) missing from the baseline "
+              f"(re-record it to start tracking them): {', '.join(new_only)}")
+    gone = sorted(set(base_vals) - set(cur_vals))
+    if gone:
+        print(f"(baseline cases absent from the current run, ignored: "
+              f"{', '.join(gone)})")
 
     if identity_failed:
         print("FAIL: bit-identity check")

@@ -25,6 +25,7 @@
 
 #include "bench_common.hpp"
 #include "substrate_cases.hpp"
+#include "util/fnv.hpp"
 
 namespace {
 
@@ -35,27 +36,22 @@ double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
       .count();
 }
 
-/// FNV-1a over the raw bit patterns of a series' (t, value) pairs.
-std::uint64_t hash_series(const stats::TimeSeries& s, std::uint64_t h) {
-  auto mix = [&h](double d) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &d, sizeof bits);
-    h ^= bits;
-    h *= 1099511628211ULL;
-  };
+/// FNV-1a (shared core: util::Fnv1a, whole-word steps — the recorded
+/// baseline hashes depend on this construction) over the raw bit patterns
+/// of a series' (t, value) pairs.
+void hash_series(const stats::TimeSeries& s, util::Fnv1a& h) {
   for (const auto& sample : s.samples()) {
-    mix(sample.t_seconds);
-    mix(sample.value);
+    h.mix_double_word(sample.t_seconds);
+    h.mix_double_word(sample.value);
   }
-  return h;
 }
 
 std::uint64_t hash_run(const exp::RunResult& r) {
-  std::uint64_t h = 14695981039346656037ULL;
-  h = hash_series(r.throughput_series, h);
-  h = hash_series(r.control_series, h);
-  h = hash_series(r.active_nodes_series, h);
-  return h;
+  util::Fnv1a h;
+  hash_series(r.throughput_series, h);
+  hash_series(r.control_series, h);
+  hash_series(r.active_nodes_series, h);
+  return h.digest();
 }
 
 struct Case {

@@ -17,6 +17,14 @@
 #   WLAN_THREADS        in-process sweep lanes per driver (default 1 here:
 #                       the script already parallelizes across drivers)
 #   WLAN_BENCH_JOBS     concurrent driver processes (default: nproc)
+#   WLAN_RUN_CACHE      run-cache directory (default here:
+#                       <build>/results/run_cache, so points shared by
+#                       several drivers — fig06/fig07 vs table2, the std
+#                       columns of the load drivers — are simulated once;
+#                       export WLAN_RUN_CACHE= (empty) to disable)
+#   WLAN_RUN_CACHE_KEEP keep the default cache across invocations of this
+#                       script (default: wiped at startup, so results can
+#                       never come from a previous build's binaries)
 set -euo pipefail
 
 build_dir="$(cd "${1:-build}" && pwd)"
@@ -31,6 +39,21 @@ jobs="${WLAN_BENCH_JOBS:-${default_jobs}}"
 # asked otherwise, keep each driver's in-process sweep serial so a default
 # run uses ~nproc threads total instead of jobs x lanes.
 export WLAN_THREADS="${WLAN_THREADS:-1}"
+
+# Cross-driver run cache: identical (scenario, scheme, params, seed) points
+# are simulated once and read back by every other driver (and by re-runs of
+# this script while the cache persists). Scoped to this invocation by
+# default so a rebuild can never serve stale physics; WLAN_RUN_CACHE_KEEP=1
+# retains it, and WLAN_RUN_CACHE= (set empty) disables caching entirely.
+if [[ -z ${WLAN_RUN_CACHE+x} ]]; then
+  export WLAN_RUN_CACHE="${results_dir}/run_cache"
+  # Only the default cache this script owns is ever wiped; a caller's own
+  # WLAN_RUN_CACHE directory is theirs to manage (and to invalidate on
+  # rebuilds!).
+  if [[ -z ${WLAN_RUN_CACHE_KEEP:-} ]]; then
+    rm -rf "${WLAN_RUN_CACHE}"
+  fi
+fi
 
 shopt -s nullglob
 benches=("${build_dir}"/bench_*)

@@ -1,0 +1,352 @@
+#include "exp/run_cache.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include "util/fnv.hpp"
+
+namespace wlan::exp::run_cache {
+
+namespace {
+
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+std::atomic<std::uint64_t> g_stores{0};
+std::atomic<std::uint64_t> g_store_failures{0};
+
+// ------------------------------------------------------------- key hashing
+
+/// util::Fnv1a over a canonical little-endian field stream. Field-count
+/// markers keep adjacent variable-length fields from aliasing (e.g.
+/// weights {1.0} + {} vs {} + {1.0}).
+class KeyHasher {
+ public:
+  void add_u64(std::uint64_t v) { h_.mix_u64(v); }
+  void add_i64(std::int64_t v) { add_u64(static_cast<std::uint64_t>(v)); }
+  void add_double(double d) { h_.mix_double(d); }
+  void add_bool(bool b) { h_.mix_byte(b ? 1 : 2); }
+  void add_duration(sim::Duration d) { add_i64(d.ns()); }
+  void add_count(std::size_t n) { add_u64(0xC0u); add_u64(n); }
+
+  std::uint64_t digest() const { return h_.digest(); }
+
+ private:
+  util::Fnv1a h_;
+};
+
+void hash_wifi_params(KeyHasher& h, const mac::WifiParams& p) {
+  h.add_double(p.data_rate_bps);
+  h.add_double(p.control_rate_bps);
+  h.add_i64(p.payload_bits);
+  h.add_i64(p.mac_header_bits);
+  h.add_i64(p.ack_bits);
+  h.add_i64(p.beacon_bits);
+  h.add_i64(p.rts_bits);
+  h.add_i64(p.cts_bits);
+  h.add_duration(p.slot);
+  h.add_duration(p.sifs);
+  h.add_duration(p.difs);
+  h.add_duration(p.preamble);
+  h.add_i64(p.cw_min);
+  h.add_i64(p.cw_max);
+  h.add_i64(p.rts_threshold_bits);
+  h.add_bool(p.beacons_enabled);
+  h.add_double(p.frame_error_rate);
+  h.add_double(p.capture_ratio);
+  h.add_bool(p.eifs_in_collision_model);
+}
+
+void hash_traffic(KeyHasher& h, const traffic::TrafficConfig& t) {
+  h.add_i64(static_cast<std::int64_t>(t.model));
+  h.add_double(t.offered_load_mbps);
+  h.add_double(t.mean_on_s);
+  h.add_double(t.mean_off_s);
+  h.add_count(t.trace_gaps_s.size());
+  for (double g : t.trace_gaps_s) h.add_double(g);
+  h.add_bool(t.trace_repeat);
+  h.add_u64(t.queue_capacity);
+}
+
+void hash_kw(KeyHasher& h, const core::KwOptions& k) {
+  h.add_double(k.initial);
+  h.add_double(k.probe_min);
+  h.add_double(k.probe_max);
+  h.add_double(k.value_min);
+  h.add_double(k.value_max);
+  h.add_double(k.gain);
+  h.add_double(k.b_exponent);
+  h.add_i64(k.initial_k);
+  h.add_bool(k.log_space);
+  h.add_double(k.dead_measurement_threshold);
+  h.add_double(k.dead_zone_floor);
+  h.add_double(k.max_step);
+}
+
+void hash_scenario(KeyHasher& h, const ScenarioConfig& s) {
+  h.add_i64(s.num_stations);
+  h.add_i64(static_cast<std::int64_t>(s.topology));
+  h.add_double(s.radius);
+  h.add_double(s.decode_radius);
+  h.add_double(s.sense_radius);
+  hash_wifi_params(h, s.phy);
+  h.add_u64(s.seed);
+  h.add_double(s.shadow_probability);
+  hash_traffic(h, s.traffic);
+}
+
+void hash_scheme(KeyHasher& h, const SchemeConfig& s) {
+  h.add_i64(static_cast<std::int64_t>(s.kind));
+  h.add_double(s.fixed_p);
+  h.add_i64(s.reset_stage);
+  h.add_double(s.reset_p0);
+  h.add_count(s.weights.size());
+  for (double w : s.weights) h.add_double(w);
+  h.add_duration(s.wtop.update_period);
+  hash_kw(h, s.wtop.kw);
+  h.add_bool(s.wtop.record_history);
+  h.add_duration(s.tora.update_period);
+  h.add_double(s.tora.delta_low);
+  h.add_double(s.tora.delta_high);
+  hash_kw(h, s.tora.kw);
+  h.add_bool(s.tora.record_history);
+  h.add_double(s.idle_sense.target_idle_slots);
+  h.add_double(s.idle_sense.epsilon);
+  h.add_double(s.idle_sense.alpha);
+  h.add_i64(s.idle_sense.max_trans);
+  h.add_double(s.idle_sense.initial_cw);
+  h.add_double(s.idle_sense.cw_min);
+  h.add_double(s.idle_sense.cw_max);
+}
+
+// --------------------------------------------------------- (de)serializing
+
+constexpr std::uint32_t kMagic = 0x57524C43;  // "WRLC"
+
+struct Writer {
+  std::FILE* f;
+  bool ok = true;
+  void u64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    if (std::fwrite(b, 1, 8, f) != 8) ok = false;
+  }
+  void f64(double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    u64(bits);
+  }
+};
+
+struct Reader {
+  std::FILE* f;
+  bool ok = true;
+  std::uint64_t u64() {
+    unsigned char b[8];
+    if (std::fread(b, 1, 8, f) != 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double d;
+    std::memcpy(&d, &bits, sizeof d);
+    return d;
+  }
+};
+
+void write_result(Writer& w, std::uint64_t key, const RunResult& r) {
+  w.u64((static_cast<std::uint64_t>(kFormatVersion) << 32) | kMagic);
+  w.u64(key);
+  w.f64(r.total_mbps);
+  w.f64(r.ap_avg_idle_slots);
+  w.u64(r.hidden_pairs);
+  w.f64(r.mean_attempt_probability);
+  w.u64(r.successes);
+  w.u64(r.failures);
+  w.u64(r.packets_offered);
+  w.u64(r.packets_dropped);
+  w.f64(r.offered_mbps);
+  w.f64(r.drop_rate);
+  w.f64(r.mean_queue_occupancy);
+  w.f64(r.mean_delay_s);
+  w.f64(r.delay_p50_s);
+  w.f64(r.delay_p95_s);
+  w.f64(r.delay_p99_s);
+  w.u64(r.per_station_mbps.size());
+  for (double v : r.per_station_mbps) w.f64(v);
+  // Delay histogram: sparse (index, count) pairs over the 2048 buckets.
+  const auto& counts = r.delays.raw_counts();
+  std::uint64_t nonzero = 0;
+  for (std::uint64_t c : counts) nonzero += c != 0;
+  w.u64(r.delays.count());
+  w.u64(r.delays.raw_sum_ns());
+  w.u64(r.delays.raw_min_ns());
+  w.u64(r.delays.raw_max_ns());
+  w.u64(nonzero);
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] != 0) {
+      w.u64(b);
+      w.u64(counts[b]);
+    }
+  }
+}
+
+bool read_result(Reader& rd, std::uint64_t key, RunResult& out) {
+  if (rd.u64() != ((static_cast<std::uint64_t>(kFormatVersion) << 32) |
+                   kMagic))
+    return false;
+  if (rd.u64() != key) return false;
+  RunResult r;
+  r.total_mbps = rd.f64();
+  r.ap_avg_idle_slots = rd.f64();
+  r.hidden_pairs = rd.u64();
+  r.mean_attempt_probability = rd.f64();
+  r.successes = rd.u64();
+  r.failures = rd.u64();
+  r.packets_offered = rd.u64();
+  r.packets_dropped = rd.u64();
+  r.offered_mbps = rd.f64();
+  r.drop_rate = rd.f64();
+  r.mean_queue_occupancy = rd.f64();
+  r.mean_delay_s = rd.f64();
+  r.delay_p50_s = rd.f64();
+  r.delay_p95_s = rd.f64();
+  r.delay_p99_s = rd.f64();
+  const std::uint64_t stations = rd.u64();
+  if (!rd.ok || stations > 1u << 20) return false;
+  r.per_station_mbps.resize(stations);
+  for (auto& v : r.per_station_mbps) v = rd.f64();
+  const std::uint64_t count = rd.u64();
+  const std::uint64_t sum_ns = rd.u64();
+  const std::uint64_t min_ns = rd.u64();
+  const std::uint64_t max_ns = rd.u64();
+  const std::uint64_t nonzero = rd.u64();
+  if (!rd.ok || nonzero > stats::DelayHistogram::kNumBuckets) return false;
+  std::vector<std::uint64_t> buckets(stats::DelayHistogram::kNumBuckets, 0);
+  for (std::uint64_t i = 0; i < nonzero; ++i) {
+    const std::uint64_t b = rd.u64();
+    const std::uint64_t c = rd.u64();
+    if (!rd.ok || b >= buckets.size()) return false;
+    buckets[b] = c;
+  }
+  // Trailing byte => foreign/corrupt file.
+  if (!rd.ok || std::fgetc(rd.f) != EOF) return false;
+  r.delays.restore_raw(std::move(buckets), count, sum_ns, min_ns, max_ns);
+  out = std::move(r);
+  return true;
+}
+
+std::filesystem::path entry_path(const std::string& dir, std::uint64_t key) {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.run",
+                static_cast<unsigned long long>(key));
+  return std::filesystem::path(dir) / name;
+}
+
+}  // namespace
+
+std::string directory() {
+  const char* dir = std::getenv("WLAN_RUN_CACHE");
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+std::uint64_t key_hash(const ScenarioConfig& scenario,
+                       const SchemeConfig& scheme,
+                       const RunOptions& options) {
+  KeyHasher h;
+  h.add_u64(kFormatVersion);
+  hash_scenario(h, scenario);
+  hash_scheme(h, scheme);
+  h.add_duration(options.warmup);
+  h.add_duration(options.measure);
+  return h.digest();
+}
+
+bool lookup(const std::string& dir, std::uint64_t key, RunResult& out) {
+  std::FILE* f = std::fopen(entry_path(dir, key).c_str(), "rb");
+  if (f == nullptr) {
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Reader rd{f};
+  const bool ok = read_result(rd, key, out);
+  std::fclose(f);
+  (ok ? g_hits : g_misses).fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+bool store(const std::string& dir, std::uint64_t key,
+           const RunResult& result) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  // Unique temp name per process + store call, renamed into place so
+  // concurrent drivers (and lanes within one) never observe a partial
+  // file (rename within one directory is atomic on POSIX).
+  static std::atomic<std::uint64_t> store_counter{0};
+  const auto final_path = entry_path(dir, key);
+#ifdef _WIN32
+  const unsigned long long pid = static_cast<unsigned long long>(::_getpid());
+#else
+  const unsigned long long pid = static_cast<unsigned long long>(::getpid());
+#endif
+  char suffix[64];
+  std::snprintf(suffix, sizeof suffix, ".%llx.%llx.tmp", pid,
+                static_cast<unsigned long long>(
+                    store_counter.fetch_add(1, std::memory_order_relaxed)));
+  auto tmp_path = final_path;
+  tmp_path += suffix;
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    g_store_failures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Writer w{f};
+  write_result(w, key, result);
+  const bool flushed = std::fclose(f) == 0 && w.ok;
+  if (!flushed) {
+    std::filesystem::remove(tmp_path, ec);
+    g_store_failures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    g_store_failures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  g_stores.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Stats stats() {
+  Stats s;
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.misses = g_misses.load(std::memory_order_relaxed);
+  s.stores = g_stores.load(std::memory_order_relaxed);
+  s.store_failures = g_store_failures.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_stats() {
+  g_hits = 0;
+  g_misses = 0;
+  g_stores = 0;
+  g_store_failures = 0;
+}
+
+}  // namespace wlan::exp::run_cache

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "exp/run_cache.hpp"
 #include "exp/sweep.hpp"
 #include "topology/hidden.hpp"
 
@@ -154,6 +155,18 @@ void collect_measurement(mac::Network& net, RunResult& result) {
 
 RunResult run_scenario(const ScenarioConfig& scenario,
                        const SchemeConfig& scheme, const RunOptions& options) {
+  // Cross-driver memoization (WLAN_RUN_CACHE): scalar results of the same
+  // fully-bound point are simulated once per cache lifetime. Series
+  // recording bypasses the cache (series are not serialized).
+  const std::string cache_dir =
+      options.record_series ? std::string() : run_cache::directory();
+  std::uint64_t cache_key = 0;
+  if (!cache_dir.empty()) {
+    cache_key = run_cache::key_hash(scenario, scheme, options);
+    RunResult cached;
+    if (run_cache::lookup(cache_dir, cache_key, cached)) return cached;
+  }
+
   RunResult result;
   result.hidden_pairs = hidden_pairs_of(scenario);
 
@@ -175,6 +188,7 @@ RunResult run_scenario(const ScenarioConfig& scenario,
   net->run_for(options.measure);
 
   collect_measurement(*net, result);
+  if (!cache_dir.empty()) run_cache::store(cache_dir, cache_key, result);
   return result;
 }
 

@@ -53,6 +53,14 @@ void Network::finalize() {
     stations_[i]->attach(static_cast<phy::NodeId>(i) + 1, ap_node_,
                          &counters_->node(i));
   }
+  if (Station::cohort_enabled() && !stations_.empty()) {
+    // Cohort-level contention: same-entry stations share one DIFS event
+    // and one decision event (see mac/contention_arbiter.hpp). Results
+    // are bit-identical to the per-station path, which WLAN_COHORT=0
+    // restores.
+    arbiter_ = std::make_unique<ContentionArbiter>(sim_, params_.slot);
+    for (auto& s : stations_) s->set_contention_arbiter(arbiter_.get());
+  }
   if (!traffic_config_.saturated()) {
     // Stream ids: station MAC draws use streams 1..N (see add_station) and
     // the AP uses 0xA9; arrival streams live far above both so adding a

@@ -18,6 +18,7 @@
 #include "mac/access_point.hpp"
 #include "mac/access_strategy.hpp"
 #include "mac/ap_controller.hpp"
+#include "mac/contention_arbiter.hpp"
 #include "mac/station.hpp"
 #include "mac/wifi_params.hpp"
 #include "phy/medium.hpp"
@@ -86,6 +87,11 @@ class Network {
   const WifiParams& params() const { return params_; }
   ApController* controller() { return controller_.get(); }
 
+  /// The cohort contention arbiter, when Station::cohort_enabled() held at
+  /// finalize() (WLAN_COHORT, default on); nullptr on the per-station
+  /// event path. Exposed for tests asserting cohort formation.
+  ContentionArbiter* contention_arbiter() { return arbiter_.get(); }
+
   /// True when set_traffic() installed finite sources.
   bool traffic_enabled() const { return !sources_.empty(); }
   const traffic::TrafficConfig& traffic_config() const {
@@ -116,6 +122,7 @@ class Network {
   AccessPoint ap_;
   phy::NodeId ap_node_;
   std::vector<std::unique_ptr<Station>> stations_;
+  std::unique_ptr<ContentionArbiter> arbiter_;  // cohort path only
   traffic::TrafficConfig traffic_config_;  // saturated by default
   std::vector<std::unique_ptr<traffic::TrafficSource>> sources_;
   std::unique_ptr<ApController> controller_;

@@ -1,17 +1,40 @@
 #include "mac/station.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
+#include "mac/contention_arbiter.hpp"
 #include "traffic/source.hpp"
 #include "util/env.hpp"
 
 namespace wlan::mac {
 
+namespace {
+// -1 = follow the (latched) environment; 0/1 = forced. Relaxed atomics so
+// sweep worker threads may read while the value rests; tests mutate only
+// between simulations.
+std::atomic<int> g_batch_override{-1};
+std::atomic<int> g_cohort_override{-1};
+}  // namespace
+
 bool Station::batching_enabled() {
+  const int forced = g_batch_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
   static const bool enabled = util::env_bool("WLAN_BATCH_SLOTS", true);
   return enabled;
 }
+
+bool Station::cohort_enabled() {
+  if (!batching_enabled()) return false;  // cohorts pre-draw batches
+  const int forced = g_cohort_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool enabled = util::env_bool("WLAN_COHORT", true);
+  return enabled;
+}
+
+void Station::set_batching_override(int value) { g_batch_override = value; }
+void Station::set_cohort_override(int value) { g_cohort_override = value; }
 
 Station::Station(sim::Simulator& simulator, phy::Medium& medium,
                  const WifiParams& params,
@@ -43,6 +66,11 @@ void Station::set_traffic_source(traffic::TrafficSource* source) {
   }
 }
 
+void Station::set_contention_arbiter(ContentionArbiter* arbiter) {
+  assert(arbiter == nullptr || batching_enabled());
+  arbiter_ = arbiter;
+}
+
 void Station::start() {
   assert(self_ != phy::kInvalidNode && "attach() must be called first");
   active_ = true;
@@ -65,6 +93,9 @@ void Station::set_active(bool active) {
       // never happened in the per-slot scheme.
       if (state_ == State::kBackoff && batching_enabled())
         rollback_backoff(false);
+      if (arbiter_ != nullptr &&
+          (state_ == State::kDifsWait || state_ == State::kBackoff))
+        arbiter_->withdraw(*this);
       sim_.cancel(difs_event_);
       sim_.cancel(slot_event_);
       sim_.cancel(nav_event_);
@@ -104,6 +135,12 @@ void Station::begin_ifs_wait(sim::Time) {
   // EIFS after an undecodable busy period, DIFS otherwise (802.11 9.3.2.3.7).
   const sim::Duration wait = eifs_pending_ ? params_.eifs() : params_.difs;
   eifs_pending_ = false;
+  if (arbiter_ != nullptr) {
+    // Cohort path: the arbiter owns the wait timer (one event per cohort
+    // of stations entering the same wait at this instant).
+    arbiter_->enroll(*this, wait);
+    return;
+  }
   difs_event_ = sim_.schedule_after(wait, [this] {
     state_ = State::kBackoff;
     if (batching_enabled()) {
@@ -128,28 +165,13 @@ void Station::slot_boundary() {
   }
 }
 
-void Station::begin_backoff(bool fresh) {
+void Station::draw_batch() {
   // Pre-draw the per-slot decisions this batch will need. The draw order
   // is exactly the per-slot scheme's (one decide_transmit per boundary, no
   // other strategy/RNG use can intervene while the channel is idle), so
   // simulation results are bit-identical; rollback_backoff() undoes the
   // draws a busy interruption proves premature.
   backoff_origin_ = sim_.now();
-  if (fresh) {
-    anchor_time_ = backoff_origin_;
-    batch_limit_ = kMinBatchSlots;
-  } else {
-    batch_limit_ = std::min(batch_limit_ * 2, kMaxBatchSlots);
-    // The anchored entry lookback saturates at ~4.29 s (u32 ns); past that
-    // the tie-break key could no longer distinguish entry recency, so
-    // re-anchor here instead. Deterministic, and unreachable under every
-    // existing scheme (it needs > 4 s of continuous idle backoff).
-    if ((backoff_origin_ - anchor_time_) + params_.slot * batch_limit_ >=
-        sim::Duration::nanoseconds(INT64_C(0xFFFFFFFF))) {
-      anchor_time_ = backoff_origin_;
-      anchor_seq_ = 0;  // re-anchor to the schedule call below
-    }
-  }
   backoff_rng_ = rng_;
   strategy_->checkpoint_decision_state();
   int k = 1;
@@ -160,15 +182,61 @@ void Station::begin_backoff(bool fresh) {
   }
   batch_planned_ = k;
   batch_transmit_ = transmit;
+}
+
+void Station::begin_backoff(bool fresh) {
+  if (fresh) {
+    anchor_time_ = sim_.now();
+    batch_limit_ = kMinBatchSlots;
+  } else {
+    batch_limit_ = std::min(batch_limit_ * 2, kMaxBatchSlots);
+    // The anchored entry lookback saturates at ~4.29 s (u32 ns); past that
+    // the tie-break key could no longer distinguish entry recency, so
+    // re-anchor here instead. Deterministic, and unreachable under every
+    // existing scheme (it needs > 4 s of continuous idle backoff).
+    if ((sim_.now() - anchor_time_) + params_.slot * batch_limit_ >=
+        sim::Duration::nanoseconds(INT64_C(0xFFFFFFFF))) {
+      anchor_time_ = sim_.now();
+      anchor_seq_ = 0;  // re-anchor to the schedule call below
+    }
+  }
+  draw_batch();
   // The decision event replaces the whole per-slot chain, so it must tie
   // with same-instant events exactly as the chain's final event would:
   // virtually scheduled one slot before it fires, by a chain entered at
   // anchor_time_ with the entry event's insertion seq. (Same-boundary
   // chains resolve as: fresher entry first, then entry schedule order.)
   slot_event_ = sim_.schedule_anchored(
-      backoff_origin_ + params_.slot * k, params_.slot, anchor_time_,
-      fresh ? 0 : anchor_seq_, [this] { decision_boundary(); });
+      backoff_origin_ + params_.slot * batch_planned_, params_.slot,
+      anchor_time_, fresh ? 0 : anchor_seq_, [this] { decision_boundary(); });
   if (fresh || anchor_seq_ == 0) anchor_seq_ = slot_event_.sequence();
+}
+
+void Station::cohort_enter_backoff() {
+  assert(arbiter_ != nullptr);
+  assert(state_ == State::kDifsWait);
+  state_ = State::kBackoff;
+  batch_limit_ = kMinBatchSlots;
+  draw_batch();
+}
+
+sim::Time Station::cohort_boundary() const {
+  return backoff_origin_ + params_.slot * batch_planned_;
+}
+
+bool Station::cohort_decision() {
+  assert(state_ == State::kBackoff);
+  if (batch_transmit_) {
+    commit_transmission();
+    return true;
+  }
+  // Capped batch: this boundary is the next batch's origin (its draw is
+  // already consumed, matching per-slot history), with a doubled limit —
+  // identical to begin_backoff(/*fresh=*/false) minus the event, which
+  // the cohort owns.
+  batch_limit_ = std::min(batch_limit_ * 2, kMaxBatchSlots);
+  draw_batch();
+  return false;
 }
 
 void Station::decision_boundary() {
@@ -289,11 +357,17 @@ void Station::on_channel_busy(sim::Time now) {
   idle_meter_.on_sensed_busy(now);
   switch (state_) {
     case State::kDifsWait:
-      sim_.cancel(difs_event_);
+      if (arbiter_ != nullptr)
+        arbiter_->withdraw(*this);
+      else
+        sim_.cancel(difs_event_);
       state_ = State::kIdleWait;
       break;
     case State::kBackoff:
-      sim_.cancel(slot_event_);
+      if (arbiter_ != nullptr)
+        arbiter_->withdraw(*this);
+      else
+        sim_.cancel(slot_event_);
       state_ = State::kIdleWait;
       break;
     case State::kIdleWait:

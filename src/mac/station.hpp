@@ -61,6 +61,8 @@ class TrafficSource;
 
 namespace wlan::mac {
 
+class ContentionArbiter;
+
 class Station final : public phy::MediumClient {
  public:
   Station(sim::Simulator& simulator, phy::Medium& medium,
@@ -77,6 +79,11 @@ class Station final : public phy::MediumClient {
   /// Attaches a finite traffic source (not owned; must outlive the
   /// station). Must precede start(). nullptr (default) = saturated.
   void set_traffic_source(traffic::TrafficSource* source);
+
+  /// Hands the station's DIFS/backoff timers to a cohort arbiter (not
+  /// owned; must outlive the station). Must precede start(); requires
+  /// batching_enabled(). nullptr (default) = per-station events.
+  void set_contention_arbiter(ContentionArbiter* arbiter);
 
   /// Begins contending at the current simulation time.
   void start();
@@ -119,6 +126,22 @@ class Station final : public phy::MediumClient {
   /// knob exists so the equivalence stays checkable.
   static bool batching_enabled();
 
+  /// WLAN_COHORT=0 selects per-station DIFS/decision events (default:
+  /// one event per same-entry cohort via mac::ContentionArbiter). Implies
+  /// batching: with WLAN_BATCH_SLOTS=0 this reports false. Behaviourally
+  /// identical — tests/test_contention_arbiter.cpp and the CI `cmp`
+  /// gates assert bit-equal results. Consulted by mac::Network at
+  /// finalize(); a Network built while this is true wires the arbiter.
+  static bool cohort_enabled();
+
+  /// Process-wide test overrides for the two env knobs above: -1 = follow
+  /// the environment (default), 0 = force off, 1 = force on. The knobs
+  /// are otherwise latched per process, which would make in-process
+  /// differential tests (cohort vs legacy vs per-slot) impossible. Only
+  /// mutate between simulations.
+  static void set_batching_override(int value);
+  static void set_cohort_override(int value);
+
  private:
   enum class State {
     kInactive,     // deactivated, not contending
@@ -131,6 +154,8 @@ class Station final : public phy::MediumClient {
     kWaitAck,      // data sent; ACK timer running
   };
 
+  friend class ContentionArbiter;
+
   void resume_contention();
   void begin_ifs_wait(sim::Time now);
   /// Starts a decision batch. `fresh` is true on backoff entry (from the
@@ -138,6 +163,18 @@ class Station final : public phy::MediumClient {
   /// continuation keeps the entry's ordering anchor.
   void begin_backoff(bool fresh);
   void decision_boundary();
+  /// Pre-draws one decision batch from the current instant: the shared
+  /// core of begin_backoff (per-station path) and the cohort hooks below.
+  void draw_batch();
+  // Cohort-arbiter hooks (cohort path only; the arbiter owns the timer
+  // events, the station keeps every draw and all rollback machinery).
+  /// DIFS/EIFS expired: enter backoff and pre-draw the first batch.
+  void cohort_enter_backoff();
+  /// This station's next pre-drawn batch boundary.
+  sim::Time cohort_boundary() const;
+  /// The boundary is due: commit (returns true; the station leaves the
+  /// cohort) or continue with a doubled re-drawn batch (returns false).
+  bool cohort_decision();
   void rollback_backoff(bool boundary_draw_counts);
   // Legacy per-slot path (WLAN_BATCH_SLOTS=0).
   void schedule_slot();
@@ -163,6 +200,7 @@ class Station final : public phy::MediumClient {
   State state_ = State::kInactive;
   bool active_ = false;
   traffic::TrafficSource* traffic_ = nullptr;
+  ContentionArbiter* arbiter_ = nullptr;
   sim::EventId difs_event_;
   /// The pending hop or decision event of the current backoff batch.
   sim::EventId slot_event_;

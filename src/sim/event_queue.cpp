@@ -8,6 +8,7 @@ namespace wlan::sim {
 
 EventId EventQueue::schedule(Time t, Callback cb, OrderKey key) {
   const std::uint64_t seq = next_seq_++;
+  assert(seq < kAnchoredBit && "event seq overflowed into the flag bit");
   std::uint32_t slot;
   if (free_.empty()) {
     slot = static_cast<std::uint32_t>(slots_.size());
@@ -22,10 +23,15 @@ EventId EventQueue::schedule(Time t, Callback cb, OrderKey key) {
   s.callback = std::move(cb);
   if (s.callback.heap_allocated()) ++heap_callbacks_;
 
-  heap_.push_back(HeapEntry{t.ns(),
-                            key.order_seq == 0 ? seq : key.order_seq, seq,
-                            slot, key.sched_lookback, key.entry_lookback});
-  sift_up(heap_.size() - 1);
+  // Seq-ordered iff the full key demonstrably reduces to insertion order
+  // (see the header comment); everything else resolves ties via cold_.
+  const bool seq_ordered =
+      key.order_seq == 0 && key.sched_lookback == key.entry_lookback;
+  hot_.push_back(
+      HotEntry{t.ns(), seq | (seq_ordered ? 0 : kAnchoredBit)});
+  cold_.push_back(ColdEntry{key.order_seq == 0 ? seq : key.order_seq, slot,
+                            key.sched_lookback, key.entry_lookback});
+  sift_up(hot_.size() - 1);
   ++live_;
   ++scheduled_;
   return EventId(slot, seq);
@@ -48,45 +54,55 @@ void EventQueue::cancel(EventId id) {
 }
 
 void EventQueue::sift_up(std::size_t i) {
-  const HeapEntry e = heap_[i];
+  const HotEntry h = hot_[i];
+  const ColdEntry c = cold_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / kArity;
-    if (!earlier(e, heap_[parent])) break;
-    heap_[i] = heap_[parent];
+    if (!earlier(h, c, hot_[parent], cold_[parent])) break;
+    hot_[i] = hot_[parent];
+    cold_[i] = cold_[parent];
     i = parent;
   }
-  heap_[i] = e;
+  hot_[i] = h;
+  cold_[i] = c;
 }
 
 void EventQueue::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
-  const HeapEntry e = heap_[i];
+  const std::size_t n = hot_.size();
+  const HotEntry h = hot_[i];
+  const ColdEntry c = cold_[i];
   for (;;) {
     const std::size_t first = i * kArity + 1;
     if (first >= n) break;
     const std::size_t last = first + kArity < n ? first + kArity : n;
     std::size_t best = first;
-    for (std::size_t c = first + 1; c < last; ++c) {
-      if (earlier(heap_[c], heap_[best])) best = c;
+    for (std::size_t k = first + 1; k < last; ++k) {
+      if (earlier(hot_[k], cold_[k], hot_[best], cold_[best])) best = k;
     }
-    if (!earlier(heap_[best], e)) break;
-    heap_[i] = heap_[best];
+    if (!earlier(hot_[best], cold_[best], h, c)) break;
+    hot_[i] = hot_[best];
+    cold_[i] = cold_[best];
     i = best;
   }
-  heap_[i] = e;
+  hot_[i] = h;
+  cold_[i] = c;
 }
 
 void EventQueue::drop_top() {
-  const HeapEntry back = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) {
-    heap_[0] = back;
+  const HotEntry hback = hot_.back();
+  const ColdEntry cback = cold_.back();
+  hot_.pop_back();
+  cold_.pop_back();
+  if (!hot_.empty()) {
+    hot_[0] = hback;
+    cold_[0] = cback;
     sift_down(0);
   }
 }
 
 void EventQueue::skim() {
-  while (!heap_.empty() && slots_[heap_[0].slot].seq != heap_[0].seq) {
+  while (!hot_.empty() &&
+         slots_[cold_[0].slot].seq != (hot_[0].seq_flag & ~kAnchoredBit)) {
     drop_top();
     ++stale_skipped_;
   }
@@ -94,17 +110,17 @@ void EventQueue::skim() {
 
 Time EventQueue::next_time() {
   skim();
-  assert(!heap_.empty());
-  return Time::from_ns(heap_[0].time_ns);
+  assert(!hot_.empty());
+  return Time::from_ns(hot_[0].time_ns);
 }
 
 bool EventQueue::pop_until(Time limit, Fired& out) {
   skim();
-  if (heap_.empty() || heap_[0].time_ns > limit.ns()) return false;
-  const HeapEntry top = heap_[0];
-  Slot& s = slots_[top.slot];
-  assert(s.seq == top.seq);
-  out.time = Time::from_ns(top.time_ns);
+  if (hot_.empty() || hot_[0].time_ns > limit.ns()) return false;
+  const std::uint32_t top_slot = cold_[0].slot;
+  Slot& s = slots_[top_slot];
+  assert(s.seq == (hot_[0].seq_flag & ~kAnchoredBit));
+  out.time = Time::from_ns(hot_[0].time_ns);
   // Unlike the old priority_queue implementation (which had to const_cast
   // top() to move the callback out), the pool slot is mutable by
   // construction — assert we never move from a const reference again.
@@ -112,7 +128,7 @@ bool EventQueue::pop_until(Time limit, Fired& out) {
                 "pop must move the callback from mutable pooled storage");
   out.callback = std::move(s.callback);
   s.seq = 0;
-  free_.push_back(top.slot);
+  free_.push_back(top_slot);
   drop_top();
   --live_;
   ++fired_;
@@ -128,7 +144,8 @@ EventQueue::Fired EventQueue::pop() {
 }
 
 void EventQueue::clear() {
-  heap_.clear();
+  hot_.clear();
+  cold_.clear();
   slots_.clear();  // destroys every live callback
   free_.clear();
   live_ = 0;
@@ -141,8 +158,9 @@ EventQueue::Stats EventQueue::stats() const {
   s.cancelled = cancelled_;
   s.stale_skipped = stale_skipped_;
   s.heap_callbacks = heap_callbacks_;
+  s.cold_compares = cold_compares_;
   s.live = live_;
-  s.heap_entries = heap_.size();
+  s.heap_entries = hot_.size();
   s.pool_slots = slots_.size();
   return s;
 }

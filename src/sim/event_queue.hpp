@@ -3,9 +3,19 @@
 //
 // Layout (rewritten for the hot path — see docs/ARCHITECTURE.md):
 //
-//   heap_   4-ary min-heap of 24-byte POD entries {time, seq, slot}.
-//           The ordering keys live in the heap array itself, so sift
-//           operations touch nothing but this contiguous array.
+//   hot_    4-ary min-heap of 16-byte POD entries {time_ns, seq|flag}.
+//           This is the ONLY array sift comparisons read on the common
+//           path: entries differing in time compare on time alone, and
+//           same-time ties between two seq-ordered events (every normally
+//           scheduled event — see below) compare on the packed seq. Four
+//           entries share a cache line, so a sift touches 2.5x fewer
+//           lines than the former 40-byte combined entry.
+//   cold_   parallel side-array of per-entry data the comparison almost
+//           never needs: the pooled callback slot index and the anchored
+//           ordering key {order_seq, sched_lookback, entry_lookback}.
+//           Moved alongside hot_ during sifts (positions stay paired) but
+//           read only when an anchored event is involved in an exact time
+//           tie, and once per pop/skim to reach the slot.
 //   slots_  pooled callback storage. A slot holds the live occupant's seq
 //           and its callback in a small-buffer `InlineFunction` (<= 48
 //           bytes inline: every lambda mac/ and phy/ schedule). Slots are
@@ -22,17 +32,31 @@
 // sequence number, so two events scheduled for the same instant fire in the
 // order they were scheduled — important for slot-aligned MAC behaviour.
 //
-// Anchored ordering (the batched-backoff hook): schedule() also accepts a
-// virtual ordering key {sched_lookback, entry_lookback, order_seq}. Two
-// events firing at the same instant compare by
+// Anchored ordering (the batched-backoff / cohort-arbiter hook):
+// schedule() also accepts a virtual ordering key
+// {sched_lookback, entry_lookback, order_seq}. Two events firing at the
+// same instant compare by
 //   (descending sched_lookback, ascending entry_lookback, order_seq),
 // which for normally scheduled events (sched_lookback = entry_lookback =
 // fire - schedule time, order_seq = seq) reduces EXACTLY to schedule order
 // — scheduled earlier means a larger lookback and a smaller seq — so the
 // historical tie-break is unchanged bit-for-bit. A caller eliminating
-// intermediate events (mac::Station's single per-backoff decision event)
-// passes the key its per-slot chain event would have had, and lands in the
-// same position among same-instant peers without those events existing.
+// intermediate events (mac::Station's single per-backoff decision event,
+// mac::ContentionArbiter's single per-cohort event) passes the key its
+// per-slot chain event would have had, and lands in the same position
+// among same-instant peers without those events existing.
+//
+// Seq-ordered fast path: an event whose key has order_seq == 0 and equal
+// lookbacks is flagged seq-ordered at schedule time. For two such events
+// the full key compare reduces to the seq compare PROVIDED the lookbacks
+// follow the fire-minus-schedule convention under a monotone clock (a
+// later schedule call never carries a larger lookback for the same fire
+// time). sim::Simulator's schedule_at/schedule_after always satisfy this,
+// as does the plain schedule(t, cb) overload (lookback 0 for every
+// entry). Callers passing explicit keys must either satisfy it or set
+// order_seq (mac::Station and mac::ContentionArbiter do: their only
+// order_seq == 0 anchored schedules are first-boundary events whose
+// virtual and actual schedule times coincide).
 #pragma once
 
 #include <cstddef>
@@ -133,6 +157,7 @@ class EventQueue {
     std::uint64_t stale_skipped = 0;   // dead heap entries skimmed on pop
     std::uint64_t heap_callbacks = 0;  // callables too big for the inline
                                        // buffer (heap-boxed)
+    std::uint64_t cold_compares = 0;   // ties resolved via the cold array
     std::size_t live = 0;              // == size()
     std::size_t heap_entries = 0;      // incl. not-yet-skimmed stale ones
     std::size_t pool_slots = 0;        // pooled callback slots allocated
@@ -140,17 +165,29 @@ class EventQueue {
   Stats stats() const;
 
  private:
-  /// POD heap node; every ordering key is stored inline so the comparison
-  /// never chases the slot pool. 40 bytes (was 24 before anchored
-  /// ordering); sift operations still touch only this contiguous array.
-  struct HeapEntry {
+  /// Set in HotEntry::seq_flag when the entry's tie-break against a
+  /// same-time peer needs the full cold key (anchored events). Clear for
+  /// seq-ordered events, whose ties resolve on the packed seq alone.
+  static constexpr std::uint64_t kAnchoredBit = std::uint64_t{1} << 63;
+
+  /// The sift-hot heap node: the fire time and the insertion seq with
+  /// kAnchoredBit folded into the top bit. 16 bytes — four per cache line.
+  struct HotEntry {
     std::int64_t time_ns;
+    std::uint64_t seq_flag;
+  };
+  static_assert(sizeof(HotEntry) == 16, "hot entries must stay 16 bytes");
+
+  /// The cold side of the same heap position: everything pop/skim needs
+  /// (slot) plus the anchored tie-break key, untouched by time-decided and
+  /// seq-ordered comparisons.
+  struct ColdEntry {
     std::uint64_t order_seq;
-    std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t sched_lookback;
     std::uint32_t entry_lookback;
   };
+  static_assert(sizeof(ColdEntry) <= 24, "cold entries must stay small");
 
   /// Pooled callback slot. `seq` identifies the live occupant; 0 = free.
   struct Slot {
@@ -160,28 +197,37 @@ class EventQueue {
 
   static constexpr std::size_t kArity = 4;  // d-ary heap fan-out
 
-  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
-    if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
-    // Scheduled (virtually) longer ago fires first; for normal events this
-    // IS insertion order, because an earlier schedule call has both the
-    // larger lookback and the smaller seq.
+  /// Full tie-break: (desc sched_lookback, asc entry_lookback, order_seq).
+  /// Scheduled (virtually) longer ago fires first; a fresher backoff entry
+  /// fires before standing chains (the per-slot chain resolution order).
+  static bool cold_earlier(const ColdEntry& a, const ColdEntry& b) {
     if (a.sched_lookback != b.sched_lookback)
       return a.sched_lookback > b.sched_lookback;
-    // Later backoff entry fires first (the per-slot chain resolution: a
-    // fresh entrant's expiry callback precedes standing chains).
     if (a.entry_lookback != b.entry_lookback)
       return a.entry_lookback < b.entry_lookback;
     return a.order_seq < b.order_seq;
   }
 
+  bool earlier(const HotEntry& ah, const ColdEntry& ac, const HotEntry& bh,
+               const ColdEntry& bc) {
+    if (ah.time_ns != bh.time_ns) return ah.time_ns < bh.time_ns;
+    // Two seq-ordered events tie in insertion order — the packed seqs
+    // compare directly (equal flag bits, both clear).
+    if (((ah.seq_flag | bh.seq_flag) & kAnchoredBit) == 0)
+      return ah.seq_flag < bh.seq_flag;
+    ++cold_compares_;
+    return cold_earlier(ac, bc);
+  }
+
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
-  /// Removes heap_[0] and restores the heap property.
+  /// Removes the heap top and restores the heap property.
   void drop_top();
   /// Drops dead (cancelled) entries from the top of the heap.
   void skim();
 
-  std::vector<HeapEntry> heap_;
+  std::vector<HotEntry> hot_;
+  std::vector<ColdEntry> cold_;  // parallel to hot_, position for position
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;  // recycled slot indices (LIFO)
   std::size_t live_ = 0;
@@ -192,6 +238,7 @@ class EventQueue {
   std::uint64_t cancelled_ = 0;
   std::uint64_t stale_skipped_ = 0;
   std::uint64_t heap_callbacks_ = 0;
+  std::uint64_t cold_compares_ = 0;
 };
 
 }  // namespace wlan::sim

@@ -105,4 +105,15 @@ void DelayHistogram::reset() {
   max_ns_ = 0;
 }
 
+void DelayHistogram::restore_raw(std::vector<std::uint64_t> counts,
+                                 std::uint64_t count, std::uint64_t sum_ns,
+                                 std::uint64_t min_ns, std::uint64_t max_ns) {
+  counts_ = std::move(counts);
+  counts_.resize(kNumBuckets, 0);
+  count_ = count;
+  sum_ns_ = sum_ns;
+  min_ns_ = min_ns;
+  max_ns_ = max_ns;
+}
+
 }  // namespace wlan::stats

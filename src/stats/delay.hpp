@@ -53,6 +53,17 @@ class DelayHistogram {
   static std::uint64_t bucket_low(std::size_t b);
   static std::uint64_t bucket_width(std::size_t b);
 
+  // Raw internals, (de)serialized bit-exactly by exp::run_cache.
+  const std::vector<std::uint64_t>& raw_counts() const { return counts_; }
+  std::uint64_t raw_sum_ns() const { return sum_ns_; }
+  std::uint64_t raw_min_ns() const { return min_ns_; }
+  std::uint64_t raw_max_ns() const { return max_ns_; }
+  /// Restores a histogram captured via the raw accessors above. `counts`
+  /// must hold kNumBuckets entries summing to `count`.
+  void restore_raw(std::vector<std::uint64_t> counts, std::uint64_t count,
+                   std::uint64_t sum_ns, std::uint64_t min_ns,
+                   std::uint64_t max_ns);
+
  private:
   std::vector<std::uint64_t> counts_;
   std::uint64_t count_ = 0;

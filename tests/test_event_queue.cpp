@@ -398,6 +398,182 @@ TEST(EventQueue, StatsCountLifecycle) {
   EXPECT_EQ(s.stale_skipped, 1u);  // a's dead entry was skimmed by pop
 }
 
+// ---------------------------------------------------------------------------
+// Anchored ordering across the hot/cold heap split: same-time ties between
+// anchored and normal events must follow the full key
+// (desc sched_lookback, asc entry_lookback, order_seq), while plain ties
+// stay pure seq order and never touch the cold array.
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueAnchored, LargerScheduleLookbackFiresFirst) {
+  EventQueue q;
+  std::vector<int> order;
+  EventQueue::OrderKey late;
+  late.sched_lookback = 10;
+  late.entry_lookback = 10;
+  late.order_seq = 1000;  // non-zero => cold tie-break path
+  EventQueue::OrderKey early;
+  early.sched_lookback = 500;
+  early.entry_lookback = 500;
+  early.order_seq = 2000;
+  // Insert in the "wrong" order: the virtually-earlier-scheduled event
+  // (larger lookback) must still fire first.
+  q.schedule(Time::from_ns(100), [&] { order.push_back(1); }, late);
+  q.schedule(Time::from_ns(100), [&] { order.push_back(2); }, early);
+  q.pop().callback();
+  q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueueAnchored, FresherEntryFiresFirstThenOrderSeq) {
+  EventQueue q;
+  std::vector<int> order;
+  auto key = [](std::uint32_t entry, std::uint64_t order_seq) {
+    EventQueue::OrderKey k;
+    k.sched_lookback = 9;  // one "slot" for everyone
+    k.entry_lookback = entry;
+    k.order_seq = order_seq;
+    return k;
+  };
+  q.schedule(Time::from_ns(100), [&] { order.push_back(1); }, key(90, 7));
+  q.schedule(Time::from_ns(100), [&] { order.push_back(2); }, key(18, 9));
+  q.schedule(Time::from_ns(100), [&] { order.push_back(3); }, key(90, 5));
+  while (!q.empty()) q.pop().callback();
+  // Fresher entry (18) first; equal entries (90) resolve by order_seq.
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(EventQueueAnchored, AnchoredEventStandsInForAnEliminatedChain) {
+  // A normal event scheduled at t=0 for 100 (seq 1), then an anchored
+  // event carrying an older order_seq than a later normal event: the
+  // anchored one must slot between them exactly where the event it
+  // replaces would have been.
+  EventQueue q;
+  std::vector<int> order;
+  EventQueue::OrderKey normal_at_0;
+  normal_at_0.sched_lookback = 100;
+  normal_at_0.entry_lookback = 100;
+  q.schedule(Time::from_ns(100), [&] { order.push_back(1); }, normal_at_0);
+  EventQueue::OrderKey replacement;  // stands in for a seq-2 chain event
+  replacement.sched_lookback = 100;
+  replacement.entry_lookback = 100;
+  replacement.order_seq = 2;
+  EventQueue::OrderKey normal_late = normal_at_0;  // seq 3 on its own
+  q.schedule(Time::from_ns(100), [&] { order.push_back(3); }, normal_late);
+  q.schedule(Time::from_ns(100), [&] { order.push_back(2); }, replacement);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueAnchored, PlainTiesNeverTouchTheColdArray) {
+  EventQueue q;
+  for (int i = 0; i < 64; ++i) q.schedule(Time::from_ns(5), [] {});
+  for (int i = 0; i < 64; ++i) q.pop();
+  EXPECT_EQ(q.stats().cold_compares, 0u);
+
+  // One anchored participant forces cold resolution of its ties.
+  EventQueue::OrderKey anchored;
+  anchored.sched_lookback = 3;
+  anchored.order_seq = 1;
+  q.schedule(Time::from_ns(9), [] {});
+  q.schedule(Time::from_ns(9), [] {}, anchored);
+  q.pop();
+  q.pop();
+  EXPECT_GT(q.stats().cold_compares, 0u);
+}
+
+/// Reference with FULL OrderKey semantics (linear scan), for randomized
+/// anchored scheduling. Keys are generated within the documented caller
+/// contract: an order_seq of 0 with equal lookbacks is only produced by
+/// the plain path (lookback 0), where seq order and key order coincide.
+class AnchoredReferenceQueue {
+ public:
+  std::uint64_t schedule(std::int64_t t, EventQueue::OrderKey key, int tag) {
+    if (key.order_seq == 0) key.order_seq = next_seq_;
+    entries_.push_back(Entry{t, key, next_seq_, tag});
+    return next_seq_++;
+  }
+  bool empty() const { return entries_.empty(); }
+  std::pair<std::int64_t, int> pop() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (earlier(entries_[i], entries_[best])) best = i;
+    }
+    const auto out = std::make_pair(entries_[best].t, entries_[best].tag);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(best));
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::int64_t t;
+    EventQueue::OrderKey key;
+    std::uint64_t seq;
+    int tag;
+  };
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.key.sched_lookback != b.key.sched_lookback)
+      return a.key.sched_lookback > b.key.sched_lookback;
+    if (a.key.entry_lookback != b.key.entry_lookback)
+      return a.key.entry_lookback < b.key.entry_lookback;
+    return a.key.order_seq < b.key.order_seq;
+  }
+  std::vector<Entry> entries_;
+  std::uint64_t next_seq_ = 1;
+};
+
+TEST(EventQueueAnchored, RandomAnchoredSchedulesMatchFullKeyReference) {
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    std::uint64_t x = 0xC0FFEE + trial;
+    EventQueue q;
+    AnchoredReferenceQueue ref;
+    std::vector<int> popped;
+    int next_tag = 0;
+    for (int op = 0; op < 1500; ++op) {
+      if (lcg(x) % 3 != 0) {  // schedule, coarse grid => many ties
+        const auto t = static_cast<std::int64_t>(lcg(x) % 20);
+        EventQueue::OrderKey key;
+        switch (lcg(x) % 3) {
+          case 0:  // plain
+            break;
+          case 1:  // anchored, explicit order_seq (unique, like real seqs:
+                   // equal full keys would leave the order unspecified)
+            key.sched_lookback = static_cast<std::uint32_t>(lcg(x) % 8);
+            key.entry_lookback = static_cast<std::uint32_t>(lcg(x) % 8);
+            key.order_seq = ((1 + lcg(x) % 64) << 20) +
+                            static_cast<std::uint64_t>(op);
+            break;
+          default:  // anchored chain head: distinct lookbacks, own seq
+            key.sched_lookback = static_cast<std::uint32_t>(lcg(x) % 8);
+            key.entry_lookback =
+                key.sched_lookback + 1 + static_cast<std::uint32_t>(lcg(x) % 8);
+            break;
+        }
+        const int tag = next_tag++;
+        q.schedule(Time::from_ns(t),
+                   [tag, &popped] { popped.push_back(tag); }, key);
+        ref.schedule(t, key, tag);
+      } else {
+        ASSERT_EQ(q.empty(), ref.empty());
+        if (q.empty()) continue;
+        const auto expect = ref.pop();
+        auto fired = q.pop();
+        ASSERT_EQ(fired.time.ns(), expect.first);
+        fired.callback();
+        ASSERT_EQ(popped.back(), expect.second);
+      }
+    }
+    while (!q.empty()) {
+      const auto expect = ref.pop();
+      auto fired = q.pop();
+      ASSERT_EQ(fired.time.ns(), expect.first);
+      fired.callback();
+      ASSERT_EQ(popped.back(), expect.second);
+    }
+  }
+}
+
 TEST(EventQueue, ManyEventsStressOrdering) {
   EventQueue q;
   // Deterministic pseudo-random times; verify global ordering on pop.

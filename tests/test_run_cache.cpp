@@ -1,0 +1,245 @@
+// Tests for the cross-driver run cache: key sensitivity, bit-exact
+// round-tripping of every cached field (including the delay histogram),
+// the run_scenario integration (hit short-circuits the simulation,
+// series-recording runs bypass), and corruption tolerance.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "exp/run_cache.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "par/thread_pool.hpp"
+
+namespace {
+
+using namespace wlan;
+using exp::ScenarioConfig;
+using exp::SchemeConfig;
+namespace rc = exp::run_cache;
+
+/// Unique per-test cache directory, removed on destruction; points
+/// WLAN_RUN_CACHE at itself for the integration tests.
+struct CacheDirGuard {
+  std::filesystem::path dir;
+  explicit CacheDirGuard(const char* tag) {
+    dir = std::filesystem::temp_directory_path() /
+          (std::string("wlan_run_cache_") + tag);
+    std::filesystem::remove_all(dir);
+    ::setenv("WLAN_RUN_CACHE", dir.c_str(), 1);
+    rc::reset_stats();
+  }
+  ~CacheDirGuard() {
+    ::unsetenv("WLAN_RUN_CACHE");
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+exp::RunOptions tiny_options() {
+  exp::RunOptions opts;
+  opts.warmup = sim::Duration::seconds(0.05);
+  opts.measure = sim::Duration::seconds(0.3);
+  return opts;
+}
+
+TEST(RunCache, DisabledWithoutEnvironment) {
+  ::unsetenv("WLAN_RUN_CACHE");
+  EXPECT_TRUE(rc::directory().empty());
+}
+
+TEST(RunCache, KeyIsSensitiveToEveryAxis) {
+  const auto scenario = ScenarioConfig::connected(10, 1);
+  const auto scheme = SchemeConfig::wtop_csma();
+  const auto opts = tiny_options();
+  const std::uint64_t base = rc::key_hash(scenario, scheme, opts);
+
+  auto other_seed = scenario;
+  other_seed.seed = 2;
+  EXPECT_NE(base, rc::key_hash(other_seed, scheme, opts));
+
+  auto other_n = scenario;
+  other_n.num_stations = 11;
+  EXPECT_NE(base, rc::key_hash(other_n, scheme, opts));
+
+  auto other_phy = scenario;
+  other_phy.phy.cw_min = 16;
+  EXPECT_NE(base, rc::key_hash(other_phy, scheme, opts));
+
+  auto other_traffic = scenario;
+  other_traffic.traffic = traffic::TrafficConfig::poisson(2.0);
+  EXPECT_NE(base, rc::key_hash(other_traffic, scheme, opts));
+
+  auto other_scheme = scheme;
+  other_scheme.wtop.kw.gain = 2.0;
+  EXPECT_NE(base, rc::key_hash(scenario, other_scheme, opts));
+
+  auto weighted = scheme;
+  weighted.weights = {2.0, 1.0};
+  EXPECT_NE(base, rc::key_hash(scenario, weighted, opts));
+
+  // Variable-length fields must not alias across adjacent fields.
+  auto w_a = scheme, w_b = scheme;
+  w_a.weights = {1.0};
+  w_b.weights = {1.0, 1.0};
+  EXPECT_NE(rc::key_hash(scenario, w_a, opts),
+            rc::key_hash(scenario, w_b, opts));
+
+  auto other_opts = opts;
+  other_opts.measure = sim::Duration::seconds(0.4);
+  EXPECT_NE(base, rc::key_hash(scenario, scheme, other_opts));
+
+  EXPECT_EQ(base, rc::key_hash(scenario, scheme, opts));  // stable
+}
+
+TEST(RunCache, RoundTripsEveryFieldBitExactly) {
+  CacheDirGuard guard("roundtrip");
+  // Traffic run: populates the delay histogram, drops, occupancy — the
+  // full serialized surface.
+  auto scenario = ScenarioConfig::hidden(6, 16.0, 3);
+  scenario.traffic = traffic::TrafficConfig::poisson(1.5, /*capacity=*/4);
+  const auto opts = tiny_options();
+  const auto fresh =
+      exp::run_scenario(scenario, SchemeConfig::standard(), opts);
+  ASSERT_GT(fresh.delays.count(), 0u);
+
+  const std::uint64_t key =
+      rc::key_hash(scenario, SchemeConfig::standard(), opts);
+  exp::RunResult cached;
+  ASSERT_TRUE(rc::lookup(rc::directory(), key, cached));
+
+  EXPECT_EQ(fresh.total_mbps, cached.total_mbps);
+  EXPECT_EQ(fresh.per_station_mbps, cached.per_station_mbps);
+  EXPECT_EQ(fresh.ap_avg_idle_slots, cached.ap_avg_idle_slots);
+  EXPECT_EQ(fresh.hidden_pairs, cached.hidden_pairs);
+  EXPECT_EQ(fresh.mean_attempt_probability, cached.mean_attempt_probability);
+  EXPECT_EQ(fresh.successes, cached.successes);
+  EXPECT_EQ(fresh.failures, cached.failures);
+  EXPECT_EQ(fresh.packets_offered, cached.packets_offered);
+  EXPECT_EQ(fresh.packets_dropped, cached.packets_dropped);
+  EXPECT_EQ(fresh.offered_mbps, cached.offered_mbps);
+  EXPECT_EQ(fresh.drop_rate, cached.drop_rate);
+  EXPECT_EQ(fresh.mean_queue_occupancy, cached.mean_queue_occupancy);
+  EXPECT_EQ(fresh.mean_delay_s, cached.mean_delay_s);
+  EXPECT_EQ(fresh.delay_p50_s, cached.delay_p50_s);
+  EXPECT_EQ(fresh.delay_p95_s, cached.delay_p95_s);
+  EXPECT_EQ(fresh.delay_p99_s, cached.delay_p99_s);
+  // Histogram internals: identical buckets => identical future quantiles.
+  EXPECT_EQ(fresh.delays.count(), cached.delays.count());
+  EXPECT_EQ(fresh.delays.raw_counts(), cached.delays.raw_counts());
+  EXPECT_EQ(fresh.delays.raw_sum_ns(), cached.delays.raw_sum_ns());
+  EXPECT_EQ(fresh.delays.raw_min_ns(), cached.delays.raw_min_ns());
+  EXPECT_EQ(fresh.delays.raw_max_ns(), cached.delays.raw_max_ns());
+  EXPECT_EQ(fresh.delays.quantile(0.5), cached.delays.quantile(0.5));
+}
+
+TEST(RunCache, SecondRunHitsAndMatchesTheFirst) {
+  CacheDirGuard guard("hits");
+  const auto scenario = ScenarioConfig::connected(6, 1);
+  const auto opts = tiny_options();
+
+  const auto first =
+      exp::run_scenario(scenario, SchemeConfig::idle_sense_scheme(), opts);
+  const auto after_first = rc::stats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_EQ(after_first.stores, 1u);
+
+  const auto second =
+      exp::run_scenario(scenario, SchemeConfig::idle_sense_scheme(), opts);
+  const auto after_second = rc::stats();
+  EXPECT_EQ(after_second.hits, 1u);
+  EXPECT_EQ(after_second.stores, 1u);  // no re-store on a hit
+
+  EXPECT_EQ(first.total_mbps, second.total_mbps);
+  EXPECT_EQ(first.per_station_mbps, second.per_station_mbps);
+  EXPECT_EQ(first.successes, second.successes);
+}
+
+TEST(RunCache, SeriesRecordingBypassesTheCache) {
+  CacheDirGuard guard("series");
+  auto opts = tiny_options();
+  opts.record_series = true;
+  opts.sample_period = sim::Duration::seconds(0.05);
+  const auto scenario = ScenarioConfig::connected(4, 1);
+  const auto a = exp::run_scenario(scenario, SchemeConfig::standard(), opts);
+  const auto b = exp::run_scenario(scenario, SchemeConfig::standard(), opts);
+  const auto stats = rc::stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.stores, 0u);
+  // And the runs themselves still carry their series.
+  EXPECT_GT(a.throughput_series.samples().size(), 0u);
+  EXPECT_EQ(a.throughput_series.samples().size(),
+            b.throughput_series.samples().size());
+}
+
+TEST(RunCache, ParallelSweepPopulatesAndThenHitsBitIdentically) {
+  // Concurrent lanes store into the cache (atomic temp+rename per entry);
+  // a second identical sweep is served entirely from cache and must be
+  // exactly equal, lane count notwithstanding.
+  CacheDirGuard guard("sweep");
+  exp::SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::connected(4, 1),
+                    ScenarioConfig::hidden(4, 16.0, 2)};
+  spec.schemes = {SchemeConfig::standard(),
+                  SchemeConfig::fixed_p_persistent(0.05)};
+  spec.seeds = 2;
+  spec.options = tiny_options();
+  par::ThreadPool pool(3);
+
+  const auto first = exp::run_sweep(spec, &pool);
+  const auto populated = rc::stats();
+  EXPECT_EQ(populated.stores, 8u);  // 2 scenarios x 2 schemes x 2 seeds
+  EXPECT_EQ(populated.hits, 0u);
+
+  const auto second = exp::run_sweep(spec, &pool);
+  const auto warm = rc::stats();
+  EXPECT_EQ(warm.hits, 8u);
+  EXPECT_EQ(warm.stores, 8u);
+
+  ASSERT_EQ(first.points.size(), second.points.size());
+  for (std::size_t i = 0; i < first.points.size(); ++i) {
+    EXPECT_EQ(first.points[i].averaged.mean_mbps,
+              second.points[i].averaged.mean_mbps);
+    EXPECT_EQ(first.points[i].averaged.mean_idle_slots,
+              second.points[i].averaged.mean_idle_slots);
+  }
+}
+
+TEST(RunCache, CorruptEntryReadsAsMissAndIsRecomputed) {
+  CacheDirGuard guard("corrupt");
+  const auto scenario = ScenarioConfig::connected(4, 2);
+  const auto opts = tiny_options();
+  const auto first =
+      exp::run_scenario(scenario, SchemeConfig::standard(), opts);
+
+  // Truncate the single cache entry.
+  std::filesystem::path entry;
+  for (const auto& e : std::filesystem::directory_iterator(guard.dir))
+    entry = e.path();
+  ASSERT_FALSE(entry.empty());
+  std::FILE* f = std::fopen(entry.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("garbage", f);
+  std::fclose(f);
+
+  rc::reset_stats();
+  const auto second =
+      exp::run_scenario(scenario, SchemeConfig::standard(), opts);
+  const auto stats = rc::stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);  // re-stored a good entry
+  EXPECT_EQ(first.total_mbps, second.total_mbps);
+
+  // The rewritten entry now hits.
+  const auto third =
+      exp::run_scenario(scenario, SchemeConfig::standard(), opts);
+  EXPECT_EQ(rc::stats().hits, 1u);
+  EXPECT_EQ(first.successes, third.successes);
+}
+
+}  // namespace
