@@ -7,7 +7,8 @@ google-benchmark's --benchmark_out JSON (bench_micro_substrate).
 
 Usage:
   compare_bench.py BASELINE CURRENT [--max-regress 0.10] [--advisory]
-                   [--skip-identity] [--case-threshold NAME=FRACTION ...]
+                   [--skip-identity] [--strict-baseline]
+                   [--case-threshold NAME=FRACTION ...]
 
 For every case present in both files, the "higher is better" metric
 (items_per_second / sim_seconds_per_wall_second) is compared; a drop of
@@ -15,11 +16,15 @@ more than --max-regress (default 10 %) is a regression.
 --case-threshold overrides the allowed drop for one case (repeatable),
 e.g. --case-threshold medium_dense=0.25 for a noisy microbenchmark.
 Cases present in the CURRENT file but absent from the baseline are new
-since the baseline was recorded: they are reported as warnings (never
-errors), pointing at a baseline re-record. Exit codes:
+since the baseline was recorded: by default they are reported as warnings
+(never errors), pointing at a baseline re-record. --strict-baseline turns
+that warning into a failure — CI uses it against the checked-in baseline,
+so a PR adding a bench case cannot merge without recording it. Exit codes:
 
   0  no regression (or --advisory)
-  1  perf regression beyond the threshold
+  1  perf regression beyond the threshold, or (--strict-baseline) current
+     cases missing from the baseline. NOT silenced by --advisory: a stale
+     baseline is a recording gap, not machine noise.
   2  bit-identity violation: series_hash mismatch, or the current file
      recorded repeat_identity_ok=false. NOT silenced by --advisory (pass
      --skip-identity when comparing across machines/compilers, where libm
@@ -66,6 +71,9 @@ def main():
     ap.add_argument("--skip-identity", action="store_true",
                     help="do not compare series hashes (use across "
                          "machines/compilers)")
+    ap.add_argument("--strict-baseline", action="store_true",
+                    help="fail (exit 1) when the current file has cases "
+                         "missing from the baseline, instead of warning")
     ap.add_argument("--case-threshold", action="append", default=[],
                     metavar="NAME=FRACTION",
                     help="per-case allowed fractional drop, overriding "
@@ -132,9 +140,12 @@ def main():
         print(f"(case thresholds naming no compared case, ignored: "
               f"{', '.join(unknown)})")
     new_only = sorted(set(cur_vals) - set(base_vals))
+    baseline_stale = bool(new_only) and args.strict_baseline
     if new_only:
-        print(f"WARNING: {len(new_only)} case(s) missing from the baseline "
-              f"(re-record it to start tracking them): {', '.join(new_only)}")
+        severity = "STALE BASELINE" if args.strict_baseline else "WARNING"
+        print(f"{severity}: {len(new_only)} case(s) missing from the "
+              f"baseline (re-record it to start tracking them): "
+              f"{', '.join(new_only)}")
     gone = sorted(set(base_vals) - set(cur_vals))
     if gone:
         print(f"(baseline cases absent from the current run, ignored: "
@@ -143,13 +154,22 @@ def main():
     if identity_failed:
         print("FAIL: bit-identity check")
         return 2
+    fail = False
     if regressions:
         msg = (f"{len(regressions)} case(s) regressed beyond "
                f"{args.max_regress:.0%}: {', '.join(regressions)}")
         if args.advisory:
             print(f"ADVISORY: {msg}")
-            return 0
-        print(f"FAIL: {msg}")
+        else:
+            print(f"FAIL: {msg}")
+            fail = True
+    if baseline_stale:
+        # Deliberately not silenced by --advisory: the fix is re-recording
+        # the baseline in the same PR, which no amount of machine-to-machine
+        # noise excuses.
+        print("FAIL: baseline is missing current cases (--strict-baseline)")
+        fail = True
+    if fail:
         return 1
     print("OK: no regression beyond the threshold")
     return 0

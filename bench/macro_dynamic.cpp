@@ -88,6 +88,37 @@ std::uint64_t macro_case(const std::string& name,
   return c.series_hash;
 }
 
+/// ESS steady-state run on the incremental marking path (the default):
+/// `cells` x `per_cell` stations under standard 802.11, recorded as
+/// simulated seconds per wall second. The series hash pins the multi-cell
+/// assembly + incremental-marking output across builds the same way the
+/// dynamic cases pin the single-BSS substrate.
+void multicell_case(const std::string& name, int cells, int per_cell,
+                    double horizon) {
+  const auto scenario =
+      exp::ScenarioConfig::multicell(cells, per_cell, /*spacing=*/40.0, 1);
+  exp::RunOptions opts;
+  opts.warmup = sim::Duration::seconds(horizon * 0.1);
+  opts.measure = sim::Duration::seconds(horizon);
+  opts.sample_period = sim::Duration::seconds(std::max(0.25, horizon / 50.0));
+  opts.record_series = true;  // hashed below; also bypasses the run cache
+  const double sim_total = horizon * 1.1;  // warm-up simulates too
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto run =
+      exp::run_scenario(scenario, exp::SchemeConfig::standard(), opts);
+  const double wall = wall_seconds(t0);
+  Case c;
+  c.name = name;
+  c.metric = "sim_seconds_per_wall_second";
+  c.value = sim_total / wall;
+  c.wall_seconds = wall;
+  c.series_hash = hash_run(run);
+  g_cases.push_back(c);
+  std::printf("%-28s %8.2f sim-s/wall-s  (%.2f s wall, hash %016" PRIx64
+              ")\n",
+              name.c_str(), c.value, wall, c.series_hash);
+}
+
 /// Same steady-state churn loop as BM_EventQueueSteadyStateChurn (shared
 /// via bench/substrate_cases.hpp), hand-timed so the regression harness
 /// does not depend on google-benchmark being installed.
@@ -211,6 +242,8 @@ int main(int argc, char** argv) {
              schedule);
   macro_case("macro_tora_dynamic", exp::SchemeConfig::tora_csma(), horizon,
              schedule);
+  multicell_case("macro_multicell_ess", /*cells=*/9, /*per_cell=*/10,
+                 horizon * 0.2);
   const std::uint64_t micro_iters =
       util::bench_fast() ? 1000000 : 5000000;
   churn_case(micro_iters);

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench.py's exit-code contract.
+
+Run directly (python3 bench/test_compare_bench.py) or through CTest
+(registered as compare_bench_py). Each test writes two small
+wlan-substrate-bench-v1 files and checks the comparator's exit code and
+output — in particular that --strict-baseline fails when the current run
+has cases the checked-in baseline does not track.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+
+
+def bench_json(cases, identity_ok=True):
+    return {
+        "schema": "wlan-substrate-bench-v1",
+        "repeat_identity_ok": identity_ok,
+        "cases": [
+            {"name": name, "metric": "items_per_second", "value": value,
+             "wall_seconds": 1.0, "series_hash": series_hash}
+            for name, value, series_hash in cases
+        ],
+    }
+
+
+class CompareBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, name, data):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(data, f)
+        return path
+
+    def run_compare(self, baseline, current, *flags):
+        base = self.write("base.json", baseline)
+        cur = self.write("cur.json", current)
+        return subprocess.run(
+            [sys.executable, SCRIPT, base, cur, *flags],
+            capture_output=True, text=True)
+
+    def test_identical_files_pass(self):
+        data = bench_json([("a", 100.0, "0" * 16), ("b", 50.0, "deadbeef" * 2)])
+        proc = self.run_compare(data, data)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_regression_fails(self):
+        base = bench_json([("a", 100.0, "0" * 16)])
+        cur = bench_json([("a", 80.0, "0" * 16)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_regression_advisory_passes(self):
+        base = bench_json([("a", 100.0, "0" * 16)])
+        cur = bench_json([("a", 80.0, "0" * 16)])
+        proc = self.run_compare(base, cur, "--advisory")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("ADVISORY", proc.stdout)
+
+    def test_new_case_warns_by_default(self):
+        base = bench_json([("a", 100.0, "0" * 16)])
+        cur = bench_json([("a", 100.0, "0" * 16), ("new", 5.0, "0" * 16)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("WARNING", proc.stdout)
+        self.assertIn("new", proc.stdout)
+
+    def test_new_case_fails_under_strict_baseline(self):
+        base = bench_json([("a", 100.0, "0" * 16)])
+        cur = bench_json([("a", 100.0, "0" * 16), ("new", 5.0, "0" * 16)])
+        proc = self.run_compare(base, cur, "--strict-baseline")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("STALE BASELINE", proc.stdout)
+
+    def test_strict_baseline_not_silenced_by_advisory(self):
+        base = bench_json([("a", 100.0, "0" * 16)])
+        cur = bench_json([("a", 100.0, "0" * 16), ("new", 5.0, "0" * 16)])
+        proc = self.run_compare(base, cur, "--strict-baseline", "--advisory")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+
+    def test_strict_baseline_passes_when_baseline_covers_all(self):
+        base = bench_json([("a", 100.0, "0" * 16), ("b", 9.0, "0" * 16)])
+        cur = bench_json([("a", 100.0, "0" * 16), ("b", 9.0, "0" * 16)])
+        proc = self.run_compare(base, cur, "--strict-baseline")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_baseline_only_cases_stay_ignored_under_strict(self):
+        # Removing a case points at the baseline being AHEAD, which a
+        # re-record also fixes but must not block unrelated runs (smoke
+        # configurations legitimately skip the slow cases).
+        base = bench_json([("a", 100.0, "0" * 16), ("slow", 2.0, "0" * 16)])
+        cur = bench_json([("a", 100.0, "0" * 16)])
+        proc = self.run_compare(base, cur, "--strict-baseline")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_series_hash_mismatch_exits_2(self):
+        base = bench_json([("a", 100.0, "1111111111111111")])
+        cur = bench_json([("a", 100.0, "2222222222222222")])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+        proc = self.run_compare(base, cur, "--skip-identity")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_identity_flag_false_exits_2(self):
+        base = bench_json([("a", 100.0, "0" * 16)])
+        cur = bench_json([("a", 100.0, "0" * 16)], identity_ok=False)
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

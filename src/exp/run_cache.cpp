@@ -103,6 +103,9 @@ void hash_scenario(KeyHasher& h, const ScenarioConfig& s) {
   h.add_u64(s.seed);
   h.add_double(s.shadow_probability);
   hash_traffic(h, s.traffic);
+  h.add_i64(s.cells);
+  h.add_i64(s.cell_cols);
+  h.add_double(s.cell_spacing);
 }
 
 void hash_scheme(KeyHasher& h, const SchemeConfig& s) {

@@ -111,9 +111,16 @@ void install_sampler(mac::Network& net, const SchemeConfig& scheme,
 }
 
 std::size_t hidden_pairs_of(const ScenarioConfig& scenario) {
-  const auto layout = make_layout(scenario);
-  // Hidden structure is a property of the SENSING graph among stations.
+  // Hidden structure is a property of the SENSING graph among stations
+  // (analyze_hidden ignores the AP, so a one-AP Layout view of a
+  // multi-cell plan loses nothing).
   const auto prop = make_propagation(scenario);
+  if (scenario.cells != 1) {
+    const auto plan = make_plan(scenario);
+    return topology::count_hidden_pairs(
+        topology::Layout{plan.aps[0], plan.stations}, *prop);
+  }
+  const auto layout = make_layout(scenario);
   return topology::count_hidden_pairs(layout, *prop);
 }
 
@@ -173,10 +180,15 @@ RunResult run_scenario(const ScenarioConfig& scenario,
   auto net = build_network(scenario, scheme);
   if (options.record_series) {
     install_sampler(*net, scheme, options.sample_period, result);
-    net->ap().set_success_callback(
-        [&result](phy::NodeId src, sim::Time) {
-          result.success_sources.push_back(static_cast<int>(src) - 1);
-        });
+    // Station node ids start after the APs (one AP historically, so the
+    // offset used to be the literal 1).
+    const int num_aps = net->num_aps();
+    for (int c = 0; c < num_aps; ++c) {
+      net->ap(c).set_success_callback(
+          [&result, num_aps](phy::NodeId src, sim::Time) {
+            result.success_sources.push_back(static_cast<int>(src) - num_aps);
+          });
+    }
   }
 
   net->start();

@@ -96,7 +96,47 @@ ScenarioConfig ScenarioConfig::shadowed(int n, double shadow_probability,
   return s;
 }
 
+ScenarioConfig ScenarioConfig::multicell(int cells, int n_per_cell,
+                                         double spacing, std::uint64_t seed) {
+  ScenarioConfig s;
+  s.num_stations = cells * n_per_cell;
+  s.topology = TopologyKind::kUniformDisc;
+  s.radius = 8.0;
+  // Finite decode range: the single-BSS default (1e9) would make every
+  // cell decode every other, which is neither the paper's discs nor a
+  // plausible ESS. Table I's 16/24 keeps interaction local.
+  s.decode_radius = 16.0;
+  s.sense_radius = 24.0;
+  // Near/far capture is what actually separates co-channel cells in an
+  // ESS: a frame 8 units away survives an interferer 40 units away. Same
+  // threshold the capture tests and ext_robustness use.
+  s.phy.capture_ratio = 4.0;
+  s.cells = cells;
+  s.cell_spacing = spacing;
+  s.seed = seed;
+  return s;
+}
+
+topology::CellPlanSpec cell_spec_of(const ScenarioConfig& scenario) {
+  topology::CellPlanSpec spec;
+  spec.cells = scenario.cells;
+  spec.cols = scenario.cell_cols;
+  spec.spacing = scenario.cell_spacing;
+  spec.cell_radius = scenario.radius;
+  spec.placement = scenario.topology == TopologyKind::kCircleEdge
+                       ? topology::CellPlacement::kCircleEdge
+                       : topology::CellPlacement::kUniformDisc;
+  return spec;
+}
+
+topology::CellPlan make_plan(const ScenarioConfig& scenario) {
+  return topology::make_cell_plan(cell_spec_of(scenario),
+                                  scenario.num_stations, scenario.seed);
+}
+
 topology::Layout make_layout(const ScenarioConfig& scenario) {
+  if (scenario.cells != 1)
+    throw std::logic_error("make_layout: multi-cell scenario; use make_plan");
   switch (scenario.topology) {
     case TopologyKind::kCircleEdge:
       return topology::circle_edge(scenario.num_stations, scenario.radius);
@@ -110,10 +150,12 @@ topology::Layout make_layout(const ScenarioConfig& scenario) {
 std::unique_ptr<phy::PropagationModel> make_propagation(
     const ScenarioConfig& scenario) {
   if (scenario.shadow_probability > 0.0) {
+    // Every AP's links are exempt from shadowing (one AP at the origin in
+    // the single-BSS case — the historical behaviour).
     return std::make_unique<phy::ShadowedDisc>(
         scenario.decode_radius, scenario.sense_radius,
         scenario.shadow_probability, scenario.seed,
-        /*protected_position=*/phy::Vec2{0.0, 0.0});
+        topology::ap_grid(cell_spec_of(scenario)));
   }
   return std::make_unique<phy::DiscPropagation>(scenario.decode_radius,
                                                 scenario.sense_radius);
@@ -148,27 +190,52 @@ std::unique_ptr<mac::AccessStrategy> make_strategy(const SchemeConfig& scheme,
   throw std::logic_error("make_strategy: unknown scheme");
 }
 
-std::unique_ptr<mac::Network> build_network(const ScenarioConfig& scenario,
-                                            const SchemeConfig& scheme) {
-  const auto layout = make_layout(scenario);
-  auto net = std::make_unique<mac::Network>(
-      scenario.phy, make_propagation(scenario), layout.ap, scenario.seed);
-  for (int i = 0; i < scenario.num_stations; ++i) {
-    net->add_station(layout.stations[static_cast<std::size_t>(i)],
-                     make_strategy(scheme, scenario.phy, i));
-  }
-  net->set_traffic(scenario.traffic);
+namespace {
+
+std::unique_ptr<mac::ApController> make_controller(
+    const ScenarioConfig& scenario, const SchemeConfig& scheme) {
   switch (scheme.kind) {
     case SchemeKind::kWTopCsma:
-      net->set_controller(
-          std::make_unique<core::WTopCsmaController>(scheme.wtop));
-      break;
+      return std::make_unique<core::WTopCsmaController>(scheme.wtop);
     case SchemeKind::kToraCsma:
-      net->set_controller(std::make_unique<core::ToraCsmaController>(
-          scenario.phy, scheme.tora));
-      break;
+      return std::make_unique<core::ToraCsmaController>(scenario.phy,
+                                                        scheme.tora);
     default:
-      break;
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<mac::Network> build_network(const ScenarioConfig& scenario,
+                                            const SchemeConfig& scheme) {
+  std::unique_ptr<mac::Network> net;
+  if (scenario.cells == 1) {
+    // Single BSS: the historical assembly path, untouched — node ids,
+    // add order and RNG streams all match the pre-ESS builds.
+    const auto layout = make_layout(scenario);
+    net = std::make_unique<mac::Network>(
+        scenario.phy, make_propagation(scenario), layout.ap, scenario.seed);
+    for (int i = 0; i < scenario.num_stations; ++i) {
+      net->add_station(layout.stations[static_cast<std::size_t>(i)],
+                       make_strategy(scheme, scenario.phy, i));
+    }
+  } else {
+    const auto plan = make_plan(scenario);
+    net = std::make_unique<mac::Network>(
+        scenario.phy, make_propagation(scenario), plan.aps, scenario.seed);
+    for (int i = 0; i < scenario.num_stations; ++i) {
+      net->add_station(plan.stations[static_cast<std::size_t>(i)],
+                       make_strategy(scheme, scenario.phy, i),
+                       plan.cell_of[static_cast<std::size_t>(i)]);
+    }
+  }
+  net->set_traffic(scenario.traffic);
+  // Adaptive schemes get one controller per cell: each BSS adapts to its
+  // own contention, exactly as independently administered APs would.
+  for (int c = 0; c < net->num_aps(); ++c) {
+    if (auto controller = make_controller(scenario, scheme))
+      net->set_controller(c, std::move(controller));
   }
   net->finalize();
   return net;

@@ -15,6 +15,7 @@
 #include "mac/network.hpp"
 #include "mac/wifi_params.hpp"
 #include "phy/propagation.hpp"
+#include "topology/cell_plan.hpp"
 #include "topology/placement.hpp"
 #include "traffic/arrival.hpp"
 
@@ -46,6 +47,20 @@ struct ScenarioConfig {
   /// offered-load axis (delay, drops, load sweeps).
   traffic::TrafficConfig traffic;
 
+  /// ESS axis: cells > 1 places that many APs on a near-square grid
+  /// (topology::CellPlanSpec) and splits num_stations across them, each
+  /// station associated to its nearest AP; all cells share the one medium,
+  /// so inter-cell interference flows through the same hidden/shadowed
+  /// machinery as ever. cells == 1 is the classic single BSS — every
+  /// historical run is reproduced bit-for-bit. `radius` doubles as the
+  /// per-cell placement radius; `topology` as the in-cell placement kind.
+  int cells = 1;
+  /// AP grid columns; 0 = near-square.
+  int cell_cols = 0;
+  /// AP grid pitch. <= sense_radius couples neighbour cells by carrier
+  /// sense; beyond it neighbour cells are mutually hidden.
+  double cell_spacing = 40.0;
+
   static ScenarioConfig connected(int n, std::uint64_t seed = 1);
   static ScenarioConfig hidden(int n, double disc_radius,
                                std::uint64_t seed = 1);
@@ -53,6 +68,14 @@ struct ScenarioConfig {
   /// pairs that no sensing-radius rule can remove.
   static ScenarioConfig shadowed(int n, double shadow_probability,
                                  std::uint64_t seed = 1);
+  /// ESS: `cells` APs with `n_per_cell` stations uniform in each radius-8
+  /// cell disc, finite decode range (16/24, the paper's Table I discs) so
+  /// cells only interact locally. Spacing defaults to 40 (neighbour cells
+  /// mutually hidden but within one another's interference story via the
+  /// stations that stray between discs).
+  static ScenarioConfig multicell(int cells, int n_per_cell,
+                                  double spacing = 40.0,
+                                  std::uint64_t seed = 1);
 };
 
 enum class SchemeKind {
@@ -94,8 +117,16 @@ struct SchemeConfig {
   double weight_of(int station_index) const;
 };
 
-/// Station layout for a scenario (deterministic given the config).
+/// Station layout for a single-BSS scenario (deterministic given the
+/// config). Rejects cells > 1 — use make_plan for those.
 topology::Layout make_layout(const ScenarioConfig& scenario);
+
+/// The CellPlanSpec a scenario's ESS fields describe.
+topology::CellPlanSpec cell_spec_of(const ScenarioConfig& scenario);
+
+/// Multi-cell plan for the scenario (any cells >= 1; a one-cell plan
+/// reproduces make_layout's placements exactly).
+topology::CellPlan make_plan(const ScenarioConfig& scenario);
 
 /// Fresh propagation model for a scenario.
 std::unique_ptr<phy::PropagationModel> make_propagation(

@@ -1,39 +1,77 @@
 #include "mac/network.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 namespace wlan::mac {
 
+namespace {
+// AP RNG streams. Cell 0 keeps the historical single-BSS stream; further
+// cells live in a block far above the station (1..N) and traffic
+// (0x100000+i) streams, so adding a cell never perturbs an existing draw.
+std::uint64_t ap_stream(int cell) {
+  return cell == 0 ? 0xA9 : 0xA90000 + static_cast<std::uint64_t>(cell);
+}
+}  // namespace
+
 Network::Network(const WifiParams& params,
                  std::unique_ptr<phy::PropagationModel> propagation,
                  phy::Vec2 ap_position, std::uint64_t seed)
+    : Network(params, std::move(propagation),
+              std::vector<phy::Vec2>{ap_position}, seed) {}
+
+Network::Network(const WifiParams& params,
+                 std::unique_ptr<phy::PropagationModel> propagation,
+                 std::vector<phy::Vec2> ap_positions, std::uint64_t seed)
     : params_(params),
       propagation_(std::move(propagation)),
       seed_(seed),
-      medium_(sim_, *propagation_),
-      ap_(sim_, medium_, params_, util::Rng(seed, /*stream=*/0xA9)) {
+      medium_(sim_, *propagation_) {
   if (propagation_ == nullptr)
     throw std::invalid_argument("Network: null propagation model");
-  ap_node_ = medium_.add_node(ap_position, ap_);
+  if (ap_positions.empty())
+    throw std::invalid_argument("Network: at least one AP required");
+  aps_.reserve(ap_positions.size());
+  controllers_.resize(ap_positions.size());
+  for (std::size_t c = 0; c < ap_positions.size(); ++c) {
+    aps_.push_back(std::make_unique<AccessPoint>(
+        sim_, medium_, params_,
+        util::Rng(seed, ap_stream(static_cast<int>(c)))));
+    const phy::NodeId id = medium_.add_node(ap_positions[c], *aps_[c]);
+    (void)id;  // == c: APs are registered first, in cell order
+  }
+}
+
+Network::~Network() {
+  // The arena's stations are destroyed here, before any member destructor
+  // runs — they reference sim_ and medium_.
+  if (stations_ != nullptr) {
+    for (std::size_t i = num_built_; i-- > 0;) stations_[i].~Station();
+    std::allocator<Station>().deallocate(stations_, arena_cap_);
+  }
 }
 
 int Network::add_station(const phy::Vec2& position,
-                         std::unique_ptr<AccessStrategy> strategy) {
+                         std::unique_ptr<AccessStrategy> strategy, int cell) {
   if (finalized_) throw std::logic_error("Network: add_station after finalize");
-  const int index = static_cast<int>(stations_.size());
-  // Stream ids: station i uses stream i+1; stream 0 is reserved.
-  auto station = std::make_unique<Station>(
-      sim_, medium_, params_, std::move(strategy),
-      util::Rng(seed_, static_cast<std::uint64_t>(index) + 1));
-  const phy::NodeId id = medium_.add_node(position, *station);
-  stations_.push_back(std::move(station));
-  (void)id;
+  if (cell < 0 || cell >= num_aps())
+    throw std::out_of_range("Network: add_station to unknown cell");
+  const int index = static_cast<int>(pending_.size());
+  // Reserve the Medium slot now (ids stay in add order, after the APs);
+  // the Station object itself is built into the arena at finalize().
+  const phy::NodeId id = medium_.add_node(position);
+  (void)id;  // == num_aps() + index
+  pending_.push_back(PendingStation{std::move(strategy), cell});
+  station_cell_.push_back(cell);
   return index;
 }
 
-void Network::set_controller(std::unique_ptr<ApController> controller) {
-  controller_ = std::move(controller);
-  ap_.set_controller(controller_.get());
+void Network::set_controller(int cell, std::unique_ptr<ApController> controller) {
+  if (cell < 0 || cell >= num_aps())
+    throw std::out_of_range("Network: controller for unknown cell");
+  controllers_[static_cast<std::size_t>(cell)] = std::move(controller);
+  aps_[static_cast<std::size_t>(cell)]->set_controller(
+      controllers_[static_cast<std::size_t>(cell)].get());
 }
 
 void Network::set_traffic(const traffic::TrafficConfig& config) {
@@ -45,33 +83,56 @@ void Network::set_traffic(const traffic::TrafficConfig& config) {
 void Network::finalize() {
   if (finalized_) throw std::logic_error("Network: finalize called twice");
   finalized_ = true;
+
+  // Build every station into one contiguous arena, in index order.
+  // Stream ids: station i uses stream i+1; stream 0 is reserved.
+  const std::size_t n = pending_.size();
+  const auto num_aps_id = static_cast<phy::NodeId>(aps_.size());
+  if (n > 0) {
+    stations_ = std::allocator<Station>().allocate(n);
+    arena_cap_ = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      new (stations_ + i) Station(
+          sim_, medium_, params_, std::move(pending_[i].strategy),
+          util::Rng(seed_, static_cast<std::uint64_t>(i) + 1));
+      ++num_built_;
+      medium_.bind_client(num_aps_id + static_cast<phy::NodeId>(i),
+                          stations_[i]);
+    }
+  }
+  pending_.clear();
+
   medium_.set_capture_ratio(params_.capture_ratio);
   medium_.finalize();
-  counters_ = std::make_unique<stats::RunCounters>(stations_.size());
-  ap_.attach(ap_node_, ap_node_ + 1, counters_.get());
-  for (std::size_t i = 0; i < stations_.size(); ++i) {
-    stations_[i]->attach(static_cast<phy::NodeId>(i) + 1, ap_node_,
-                         &counters_->node(i));
+  counters_ = std::make_unique<stats::RunCounters>(num_built_);
+  for (std::size_t c = 0; c < aps_.size(); ++c)
+    aps_[c]->attach(static_cast<phy::NodeId>(c), num_aps_id, counters_.get());
+  for (std::size_t i = 0; i < num_built_; ++i) {
+    stations_[i].attach(num_aps_id + static_cast<phy::NodeId>(i),
+                        static_cast<phy::NodeId>(station_cell_[i]),
+                        &counters_->node(i));
   }
-  if (Station::cohort_enabled() && !stations_.empty()) {
+  if (Station::cohort_enabled() && num_built_ > 0) {
     // Cohort-level contention: same-entry stations share one DIFS event
     // and one decision event (see mac/contention_arbiter.hpp). Results
     // are bit-identical to the per-station path, which WLAN_COHORT=0
-    // restores.
+    // restores. One arbiter spans every cell — contention happens on the
+    // shared medium, not per BSS.
     arbiter_ = std::make_unique<ContentionArbiter>(sim_, params_.slot);
-    for (auto& s : stations_) s->set_contention_arbiter(arbiter_.get());
+    for (std::size_t i = 0; i < num_built_; ++i)
+      stations_[i].set_contention_arbiter(arbiter_.get());
   }
   if (!traffic_config_.saturated()) {
-    // Stream ids: station MAC draws use streams 1..N (see add_station) and
-    // the AP uses 0xA9; arrival streams live far above both so adding a
-    // source never perturbs a MAC draw.
+    // Stream ids: station MAC draws use streams 1..N (see above), the APs
+    // use 0xA9 / 0xA90000+c; arrival streams live far above all of them so
+    // adding a source never perturbs a MAC draw.
     constexpr std::uint64_t kTrafficStreamBase = 0x100000;
-    sources_.reserve(stations_.size());
-    for (std::size_t i = 0; i < stations_.size(); ++i) {
+    sources_.reserve(num_built_);
+    for (std::size_t i = 0; i < num_built_; ++i) {
       sources_.push_back(std::make_unique<traffic::TrafficSource>(
           sim_, traffic_config_, params_.payload_bits,
           util::Rng(seed_, kTrafficStreamBase + i)));
-      stations_[i]->set_traffic_source(sources_[i].get());
+      stations_[i].set_traffic_source(sources_[i].get());
     }
   }
 }
@@ -84,7 +145,7 @@ void Network::start() {
   // Stations with a source and an empty queue park in kNoData until the
   // first arrival event (scheduled here) wakes them.
   for (auto& src : sources_) src->start();
-  for (auto& s : stations_) s->start();
+  for (std::size_t i = 0; i < num_built_; ++i) stations_[i].start();
 }
 
 std::size_t Network::total_queued() const {

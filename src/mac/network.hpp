@@ -1,5 +1,7 @@
-// Network: assembles simulator + medium + AP + stations into a runnable
-// single-BSS WLAN, and owns all of it.
+// Network: assembles simulator + medium + AP(s) + stations into a runnable
+// WLAN, and owns all of it. One AP makes the classic single BSS; several
+// make an ESS whose cells share the medium (topology::CellPlan builds the
+// positions/association; exp::ScenarioConfig wires it through here).
 //
 // Usage:
 //   Network net(params, std::make_unique<DiscPropagation>(16, 24), seed);
@@ -10,6 +12,17 @@
 //   net.start();
 //   net.run_for(sim::Duration::seconds(20));
 //   double mbps = net.counters().total_mbps(net.measured_duration());
+//
+// Node-id layout: APs take Medium NodeIds [0, num_aps()), stations
+// [num_aps(), num_aps() + num_stations()) in add_station order. With one AP
+// this is the historical {AP = 0, station i = i + 1} numbering, and every
+// RNG stream assignment matches the single-BSS original draw-for-draw.
+//
+// Stations are CONSTRUCTED at finalize() into one contiguous arena (their
+// Medium slots are reserved at add_station time, so ids and callback order
+// are unaffected): the per-slot hot path walks many stations' MAC state,
+// and an arena keeps those accesses within a few cache lines instead of one
+// heap allocation apart.
 #pragma once
 
 #include <memory>
@@ -32,22 +45,37 @@ namespace wlan::mac {
 
 class Network {
  public:
-  /// The AP sits at `ap_position`. `seed` drives every stochastic choice in
-  /// the network (per-station sub-streams are derived deterministically).
+  /// Single-BSS: the AP sits at `ap_position`. `seed` drives every
+  /// stochastic choice in the network (per-station sub-streams are derived
+  /// deterministically).
   Network(const WifiParams& params,
           std::unique_ptr<phy::PropagationModel> propagation,
           phy::Vec2 ap_position, std::uint64_t seed);
 
+  /// ESS: one AP per entry of `ap_positions` (>= 1), cell c's AP at
+  /// ap_positions[c]. AP 0 keeps the single-BSS RNG stream so a one-entry
+  /// vector is exactly the single-AP constructor.
+  Network(const WifiParams& params,
+          std::unique_ptr<phy::PropagationModel> propagation,
+          std::vector<phy::Vec2> ap_positions, std::uint64_t seed);
+
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+  ~Network();
 
-  /// Adds a station before finalize(). Returns its index (0-based, distinct
-  /// from its Medium NodeId, which is index + 1 since the AP is node 0).
+  /// Adds a station (associated to `cell`'s AP) before finalize(). Returns
+  /// its index (0-based, distinct from its Medium NodeId, which is
+  /// index + num_aps() since APs occupy the low ids).
   int add_station(const phy::Vec2& position,
-                  std::unique_ptr<AccessStrategy> strategy);
+                  std::unique_ptr<AccessStrategy> strategy, int cell = 0);
 
-  /// Installs the AP-side adaptation algorithm (owned). Optional.
-  void set_controller(std::unique_ptr<ApController> controller);
+  /// Installs cell 0's AP-side adaptation algorithm (owned). Optional.
+  void set_controller(std::unique_ptr<ApController> controller) {
+    set_controller(0, std::move(controller));
+  }
+  /// Installs `cell`'s AP-side adaptation algorithm (owned). Optional; each
+  /// cell adapts independently, as separate BSSes do.
+  void set_controller(int cell, std::unique_ptr<ApController> controller);
 
   /// Switches every station from the saturated default to the described
   /// finite source model (one traffic::TrafficSource per station, each on
@@ -55,7 +83,8 @@ class Network {
   /// no-op.
   void set_traffic(const traffic::TrafficConfig& config);
 
-  /// Freezes the topology. Must be called once before start().
+  /// Freezes the topology (and builds the stations). Must be called once
+  /// before start().
   void finalize();
 
   /// All stations begin contending at the current simulation time.
@@ -75,17 +104,32 @@ class Network {
 
   sim::Simulator& simulator() { return sim_; }
   phy::Medium& medium() { return medium_; }
-  AccessPoint& ap() { return ap_; }
-  const AccessPoint& ap() const { return ap_; }
-  Station& station(int index) { return *stations_[static_cast<std::size_t>(index)]; }
-  const Station& station(int index) const {
-    return *stations_[static_cast<std::size_t>(index)];
+  AccessPoint& ap() { return *aps_[0]; }
+  const AccessPoint& ap() const { return *aps_[0]; }
+  AccessPoint& ap(int cell) { return *aps_[static_cast<std::size_t>(cell)]; }
+  const AccessPoint& ap(int cell) const {
+    return *aps_[static_cast<std::size_t>(cell)];
   }
-  int num_stations() const { return static_cast<int>(stations_.size()); }
+  int num_aps() const { return static_cast<int>(aps_.size()); }
+  /// Only valid after finalize() (stations are built there).
+  Station& station(int index) { return stations_[static_cast<std::size_t>(index)]; }
+  const Station& station(int index) const {
+    return stations_[static_cast<std::size_t>(index)];
+  }
+  int num_stations() const {
+    return static_cast<int>(finalized_ ? num_built_ : pending_.size());
+  }
+  /// The cell station `index` is associated with.
+  int station_cell(int index) const {
+    return station_cell_[static_cast<std::size_t>(index)];
+  }
   stats::RunCounters& counters() { return *counters_; }
   const stats::RunCounters& counters() const { return *counters_; }
   const WifiParams& params() const { return params_; }
-  ApController* controller() { return controller_.get(); }
+  ApController* controller() { return controllers_[0].get(); }
+  ApController* controller(int cell) {
+    return controllers_[static_cast<std::size_t>(cell)].get();
+  }
 
   /// The cohort contention arbiter, when Station::cohort_enabled() held at
   /// finalize() (WLAN_COHORT, default on); nullptr on the per-station
@@ -114,18 +158,28 @@ class Network {
   }
 
  private:
+  /// Everything add_station records; the Station itself is built at
+  /// finalize() (its Medium slot already holds the position).
+  struct PendingStation {
+    std::unique_ptr<AccessStrategy> strategy;
+    int cell;
+  };
+
   WifiParams params_;
   std::unique_ptr<phy::PropagationModel> propagation_;
   std::uint64_t seed_;
   sim::Simulator sim_;
   phy::Medium medium_;
-  AccessPoint ap_;
-  phy::NodeId ap_node_;
-  std::vector<std::unique_ptr<Station>> stations_;
+  std::vector<std::unique_ptr<AccessPoint>> aps_;
+  std::vector<std::unique_ptr<ApController>> controllers_;  // one per cell
+  std::vector<PendingStation> pending_;  // emptied by finalize()
+  std::vector<int> station_cell_;
+  Station* stations_ = nullptr;  // contiguous arena of num_built_ stations
+  std::size_t num_built_ = 0;
+  std::size_t arena_cap_ = 0;  // allocation size (deallocate needs it)
   std::unique_ptr<ContentionArbiter> arbiter_;  // cohort path only
   traffic::TrafficConfig traffic_config_;  // saturated by default
   std::vector<std::unique_ptr<traffic::TrafficSource>> sources_;
-  std::unique_ptr<ApController> controller_;
   std::unique_ptr<stats::RunCounters> counters_;
   bool finalized_ = false;
   bool started_ = false;

@@ -416,8 +416,11 @@ void Station::on_frame_received(const phy::Frame& frame, bool clean,
     case phy::FrameKind::kBeacon:
       // Beacons are addressed to everyone; strategies treat their
       // parameters as authoritative (the own_ack flag exists to filter out
-      // OTHER stations' ACKs, which does not apply to broadcasts).
-      strategy_->apply_params(frame.params, /*own_ack=*/true, rng_);
+      // OTHER stations' ACKs, which does not apply to broadcasts). In an
+      // ESS, an overheard neighbour-cell beacon still sets the NAV (above)
+      // but must not reprogram this cell's parameters.
+      if (frame.src == ap_)
+        strategy_->apply_params(frame.params, /*own_ack=*/true, rng_);
       return;
 
     case phy::FrameKind::kCts:
@@ -434,9 +437,12 @@ void Station::on_frame_received(const phy::Frame& frame, bool clean,
 
     case phy::FrameKind::kAck: {
       const bool own_ack = frame.dst == self_;
-      // Every cleanly overheard ACK carries parameters (wTOP-CSMA consumes
-      // all of them; TORA-CSMA's strategy filters on own_ack internally).
-      strategy_->apply_params(frame.params, own_ack, rng_);
+      // Every cleanly overheard ACK from OUR AP carries parameters
+      // (wTOP-CSMA consumes all of them; TORA-CSMA's strategy filters on
+      // own_ack internally). Neighbour-cell ACKs reflect a different BSS's
+      // contention state and are ignored — with a single AP the filter
+      // never rejects anything, since only APs send ACKs.
+      if (frame.src == ap_) strategy_->apply_params(frame.params, own_ack, rng_);
       if (own_ack && state_ == State::kWaitAck) {
         sim_.cancel(ack_timeout_event_);
         if (counters_ != nullptr) ++counters_->successes;

@@ -1,61 +1,280 @@
 #include "phy/medium.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
 
+#include "topology/spatial_grid.hpp"
+#include "util/env.hpp"
+
 namespace wlan::phy {
 
+namespace {
+// -1 = follow the (latched) environment; 0/1 = forced. Relaxed atomics so
+// sweep worker threads may read while the value rests; tests mutate only
+// between simulations.
+std::atomic<int> g_incr_override{-1};
+
+// The decode mask costs one bit per (source, receiver) pair — the same
+// footprint as the corruption marks — so it is built whenever those marks
+// are affordable anyway.
+constexpr std::size_t kMaskNodeCap = 16384;
+
+// Peer-index build work cap (candidate visits). Dense all-pairs topologies
+// blow past this and simply keep scanning the in-flight list, which for
+// them is already the optimal algorithm.
+constexpr std::uint64_t kPeerWorkCap = 256u * 1000 * 1000;
+
+// Below this the grid-accelerated adjacency build is pure overhead.
+constexpr std::size_t kGridBuildMin = 64;
+}  // namespace
+
+bool Medium::incremental_enabled() {
+  const int forced = g_incr_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool enabled = util::env_bool("WLAN_INCR_MEDIUM", true);
+  return enabled;
+}
+
+void Medium::set_incremental_override(int value) { g_incr_override = value; }
+
 Medium::Medium(sim::Simulator& simulator, const PropagationModel& propagation)
-    : sim_(simulator), propagation_(propagation) {}
+    : sim_(simulator),
+      propagation_(propagation),
+      incremental_(incremental_enabled()) {}
+
+NodeId Medium::add_node(const Vec2& position) {
+  if (finalized_) throw std::logic_error("Medium: add_node after finalize()");
+  positions_.push_back(position);
+  clients_.push_back(nullptr);
+  sensed_count_.push_back(0);
+  transmitting_.push_back(0);
+  return static_cast<NodeId>(positions_.size() - 1);
+}
 
 NodeId Medium::add_node(const Vec2& position, MediumClient& client) {
-  if (finalized_) throw std::logic_error("Medium: add_node after finalize()");
-  nodes_.push_back(NodeRec{position, &client, 0, false, {}, {}});
-  return static_cast<NodeId>(nodes_.size() - 1);
+  const NodeId id = add_node(position);
+  clients_[static_cast<std::size_t>(id)] = &client;
+  return id;
+}
+
+void Medium::bind_client(NodeId n, MediumClient& client) {
+  if (finalized_)
+    throw std::logic_error("Medium: bind_client after finalize()");
+  if (n < 0 || static_cast<std::size_t>(n) >= positions_.size())
+    throw std::out_of_range("Medium: bind_client of unknown node");
+  clients_[static_cast<std::size_t>(n)] = &client;
+}
+
+void Medium::build_adjacency() {
+  const std::size_t n = positions_.size();
+  aud_off_.assign(n + 1, 0);
+  dec_off_.assign(n + 1, 0);
+  aud_ids_.clear();
+  dec_ids_.clear();
+
+  const double range = propagation_.max_range();
+  if (incremental_ && range > 0.0 && n >= kGridBuildMin) {
+    // Bounded-range model: candidates come from a spatial grid instead of
+    // all n-1 others. query_within returns ids ascending, so after the
+    // exact predicate filter the rows are identical to the all-pairs
+    // build's — iteration order of the busy/idle/delivery cascades (which
+    // is behaviour) does not change.
+    topology::SpatialGrid grid;
+    grid.build(positions_, range);
+    std::vector<int> cand;
+    for (std::size_t s = 0; s < n; ++s) {
+      grid.query_within(positions_[s], range, cand);
+      for (const int o : cand) {
+        if (static_cast<std::size_t>(o) == s) continue;
+        const auto& dst = positions_[static_cast<std::size_t>(o)];
+        if (propagation_.can_sense(positions_[s], dst))
+          aud_ids_.push_back(static_cast<NodeId>(o));
+        if (propagation_.can_decode(positions_[s], dst))
+          dec_ids_.push_back(static_cast<NodeId>(o));
+      }
+      aud_off_[s + 1] = static_cast<std::uint32_t>(aud_ids_.size());
+      dec_off_[s + 1] = static_cast<std::uint32_t>(dec_ids_.size());
+    }
+    return;
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t o = 0; o < n; ++o) {
+      if (s == o) continue;
+      if (propagation_.can_sense(positions_[s], positions_[o]))
+        aud_ids_.push_back(static_cast<NodeId>(o));
+      if (propagation_.can_decode(positions_[s], positions_[o]))
+        dec_ids_.push_back(static_cast<NodeId>(o));
+    }
+    aud_off_[s + 1] = static_cast<std::uint32_t>(aud_ids_.size());
+    dec_off_[s + 1] = static_cast<std::uint32_t>(dec_ids_.size());
+  }
+}
+
+void Medium::build_decode_mask() {
+  const std::size_t n = positions_.size();
+  dec_mask_.assign(n * words_per_tx_, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::uint64_t* words = dec_mask_.data() + s * words_per_tx_;
+    for (std::uint32_t k = dec_off_[s]; k < dec_off_[s + 1]; ++k) {
+      const auto r = static_cast<std::size_t>(dec_ids_[k]);
+      words[r >> 6] |= std::uint64_t{1} << (r & 63u);
+    }
+  }
+}
+
+void Medium::build_peer_index() {
+  // o is an interference peer of s iff a transmission from o overlapping
+  // one from s can change an OBSERVABLE reception, i.e. set a corruption
+  // bit that delivery reads. Delivery of s's frame reads exactly the bits
+  // of r in D(s) (= decodable_at(s)); symmetrically for o. Walking the
+  // marking rules:
+  //   cond1b  o in D(s)            — half-duplex mark on s's frame at o
+  //   cond1a  s in D(o)            — half-duplex mark on o's frame at s
+  //   cond2   A(s) ∩ D(o) != {}    — r hears s AND r decodes o
+  //   cond3   A(o) ∩ D(s) != {}    — r hears o AND r decodes s
+  // The relation is symmetric (1a/1b and 2/3 swap under s<->o). Rows are
+  // computed per s with reverse adjacency + an epoch-stamped dedup pass:
+  //   peers(s) = D(s) ∪ revD(s) ∪ (∪_{r∈A(s)} revD(r)) ∪ (∪_{r∈D(s)} revA(r))
+  // where revD(r) = {o : r ∈ D(o)} and revA(r) = {o : r ∈ A(o)}.
+  const std::size_t n = positions_.size();
+  peers_built_ = false;
+  peer_off_.assign(n + 1, 0);
+  peer_ids_.clear();
+  if (n == 0) {
+    peers_built_ = true;
+    return;
+  }
+
+  // Reverse CSRs. Filling in ascending source order keeps each reverse row
+  // ascending too (not required for correctness — marking is commutative
+  // and idempotent — but deterministic and cache-friendly).
+  std::vector<std::uint32_t> ra_off(n + 1, 0), rd_off(n + 1, 0);
+  for (const NodeId r : aud_ids_) ++ra_off[static_cast<std::size_t>(r) + 1];
+  for (const NodeId r : dec_ids_) ++rd_off[static_cast<std::size_t>(r) + 1];
+  for (std::size_t i = 1; i <= n; ++i) {
+    ra_off[i] += ra_off[i - 1];
+    rd_off[i] += rd_off[i - 1];
+  }
+  std::vector<NodeId> ra_ids(aud_ids_.size()), rd_ids(dec_ids_.size());
+  {
+    std::vector<std::uint32_t> ra_cur(ra_off.begin(), ra_off.end() - 1);
+    std::vector<std::uint32_t> rd_cur(rd_off.begin(), rd_off.end() - 1);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::uint32_t k = aud_off_[s]; k < aud_off_[s + 1]; ++k)
+        ra_ids[ra_cur[static_cast<std::size_t>(aud_ids_[k])]++] =
+            static_cast<NodeId>(s);
+      for (std::uint32_t k = dec_off_[s]; k < dec_off_[s + 1]; ++k)
+        rd_ids[rd_cur[static_cast<std::size_t>(dec_ids_[k])]++] =
+            static_cast<NodeId>(s);
+    }
+  }
+
+  // Work estimate first: dense topologies (everyone a peer of everyone)
+  // would cost O(n^3) candidate visits here for an index that buys
+  // nothing over scanning the in-flight list. Bail before doing the work.
+  std::uint64_t work = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    work += (dec_off_[s + 1] - dec_off_[s]) + (rd_off[s + 1] - rd_off[s]);
+    for (std::uint32_t k = aud_off_[s]; k < aud_off_[s + 1]; ++k) {
+      const auto r = static_cast<std::size_t>(aud_ids_[k]);
+      work += rd_off[r + 1] - rd_off[r];
+    }
+    for (std::uint32_t k = dec_off_[s]; k < dec_off_[s + 1]; ++k) {
+      const auto r = static_cast<std::size_t>(dec_ids_[k]);
+      work += ra_off[r + 1] - ra_off[r];
+    }
+    if (work > kPeerWorkCap) return;
+  }
+
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::uint32_t epoch = 0;
+  std::vector<NodeId> buf;
+  for (std::size_t s = 0; s < n; ++s) {
+    ++epoch;
+    buf.clear();
+    const auto self = static_cast<NodeId>(s);
+    auto touch = [&](NodeId o) {
+      if (o == self) return;
+      auto& st = stamp[static_cast<std::size_t>(o)];
+      if (st == epoch) return;
+      st = epoch;
+      buf.push_back(o);
+    };
+    for (std::uint32_t k = dec_off_[s]; k < dec_off_[s + 1]; ++k)
+      touch(dec_ids_[k]);  // cond1b
+    for (std::uint32_t k = rd_off[s]; k < rd_off[s + 1]; ++k)
+      touch(rd_ids[k]);  // cond1a
+    for (std::uint32_t k = aud_off_[s]; k < aud_off_[s + 1]; ++k) {
+      const auto r = static_cast<std::size_t>(aud_ids_[k]);
+      for (std::uint32_t j = rd_off[r]; j < rd_off[r + 1]; ++j)
+        touch(rd_ids[j]);  // cond2
+    }
+    for (std::uint32_t k = dec_off_[s]; k < dec_off_[s + 1]; ++k) {
+      const auto r = static_cast<std::size_t>(dec_ids_[k]);
+      for (std::uint32_t j = ra_off[r]; j < ra_off[r + 1]; ++j)
+        touch(ra_ids[j]);  // cond3
+    }
+    std::sort(buf.begin(), buf.end());
+    peer_ids_.insert(peer_ids_.end(), buf.begin(), buf.end());
+    peer_off_[s + 1] = static_cast<std::uint32_t>(peer_ids_.size());
+  }
+  peers_built_ = true;
 }
 
 void Medium::finalize() {
   if (finalized_) throw std::logic_error("Medium: finalize() called twice");
+  for (const MediumClient* c : clients_)
+    if (c == nullptr)
+      throw std::logic_error("Medium: finalize() with unbound client");
   finalized_ = true;
-  const auto n = static_cast<NodeId>(nodes_.size());
-  for (NodeId s = 0; s < n; ++s) {
-    auto& src = nodes_[static_cast<std::size_t>(s)];
-    for (NodeId o = 0; o < n; ++o) {
-      if (s == o) continue;
-      const auto& dst = nodes_[static_cast<std::size_t>(o)];
-      if (propagation_.can_sense(src.position, dst.position))
-        src.audible_at.push_back(o);
-      if (propagation_.can_decode(src.position, dst.position))
-        src.decodable_at.push_back(o);
-    }
-  }
+
+  build_adjacency();
+
   // All per-transmission state is sized once here and reused across every
   // transmission lifetime: one TxSlot per node plus one flat block of
   // corruption-mark bits per (source, receiver) pair.
-  tx_slots_.assign(nodes_.size(), TxSlot{});
-  words_per_tx_ = (nodes_.size() + 63) / 64;
-  corrupt_.assign(nodes_.size() * words_per_tx_, 0);
+  const std::size_t n = positions_.size();
+  words_per_tx_ = (n + 63) / 64;
+  if (incremental_) {
+    if (n <= kMaskNodeCap) {
+      build_decode_mask();
+      have_masks_ = true;
+    }
+    build_peer_index();
+  }
+  tx_slots_.assign(n, TxSlot{});
+  corrupt_.assign(n * words_per_tx_, 0);
   scratch_corrupt_.assign(words_per_tx_, 0);
-  active_.reserve(nodes_.size());
+  active_.reserve(n);
 }
 
 bool Medium::is_busy_for(NodeId n) const {
-  return nodes_[static_cast<std::size_t>(n)].sensed_count > 0;
+  return sensed_count_[static_cast<std::size_t>(n)] > 0;
 }
 
 bool Medium::is_transmitting(NodeId n) const {
-  return nodes_[static_cast<std::size_t>(n)].transmitting;
+  return transmitting_[static_cast<std::size_t>(n)] != 0;
 }
 
 bool Medium::senses(NodeId source, NodeId observer) const {
-  const auto& a = nodes_[static_cast<std::size_t>(source)].audible_at;
-  return std::find(a.begin(), a.end(), observer) != a.end();
+  const NodeId* b = row_begin(aud_off_, aud_ids_, source);
+  const NodeId* e = row_end(aud_off_, aud_ids_, source);
+  return std::find(b, e, observer) != e;
 }
 
 bool Medium::decodes(NodeId source, NodeId observer) const {
-  const auto& d = nodes_[static_cast<std::size_t>(source)].decodable_at;
-  return std::find(d.begin(), d.end(), observer) != d.end();
+  const NodeId* b = row_begin(dec_off_, dec_ids_, source);
+  const NodeId* e = row_end(dec_off_, dec_ids_, source);
+  return std::find(b, e, observer) != e;
+}
+
+std::vector<NodeId> Medium::interference_peers(NodeId s) const {
+  if (!peers_built_) return {};
+  return std::vector<NodeId>(row_begin(peer_off_, peer_ids_, s),
+                             row_end(peer_off_, peer_ids_, s));
 }
 
 void Medium::mark_corrupt(NodeId tx_src, NodeId receiver) {
@@ -67,22 +286,66 @@ void Medium::mark_corrupt(NodeId tx_src, NodeId receiver) {
 void Medium::interfere(NodeId victim_src, NodeId interferer, NodeId receiver) {
   if (receiver == victim_src) return;
   if (capture_ratio_ > 0.0) {
-    const auto& rx = nodes_[static_cast<std::size_t>(receiver)].position;
+    const auto& rx = positions_[static_cast<std::size_t>(receiver)];
     const double wanted = propagation_.rx_power(
-        nodes_[static_cast<std::size_t>(victim_src)].position, rx);
+        positions_[static_cast<std::size_t>(victim_src)], rx);
     const double noise = propagation_.rx_power(
-        nodes_[static_cast<std::size_t>(interferer)].position, rx);
+        positions_[static_cast<std::size_t>(interferer)], rx);
     if (wanted >= capture_ratio_ * noise) return;  // captured: copy survives
   }
   mark_corrupt(victim_src, receiver);
+}
+
+// Mutual-corruption bookkeeping for the pair (new tx from `src`, in-flight
+// tx from `o`):
+//  * each source is a dead receiver for the other frame (half-duplex),
+//    capture or not;
+//  * every receiver audible to either source has that source's frame as a
+//    (capture-aware) interferer of the other.
+// Mark order is irrelevant — marking only sets per-receiver bits.
+void Medium::mark_pair_legacy(NodeId src, NodeId o) {
+  mark_corrupt(o, src);
+  mark_corrupt(src, o);
+  const NodeId* e = row_end(aud_off_, aud_ids_, src);
+  for (const NodeId* p = row_begin(aud_off_, aud_ids_, src); p != e; ++p) {
+    ++interference_checks_;
+    interfere(o, src, *p);
+  }
+  e = row_end(aud_off_, aud_ids_, o);
+  for (const NodeId* p = row_begin(aud_off_, aud_ids_, o); p != e; ++p) {
+    ++interference_checks_;
+    interfere(src, o, *p);
+  }
+}
+
+// Same pair, but every mark is pre-filtered by the decode mask: a mark on
+// source f's frame at receiver r is only ever READ by delivery when r is in
+// D(f), so marks failing that test can be skipped without changing any
+// delivered `clean` flag. This skips both the bit write and — the expensive
+// part under capture — the rx_power evaluations.
+void Medium::mark_pair_masked(NodeId src, NodeId o) {
+  if (decode_bit(o, src)) mark_corrupt(o, src);
+  if (decode_bit(src, o)) mark_corrupt(src, o);
+  const NodeId* e = row_end(aud_off_, aud_ids_, src);
+  for (const NodeId* p = row_begin(aud_off_, aud_ids_, src); p != e; ++p) {
+    if (!decode_bit(o, *p)) continue;
+    ++interference_checks_;
+    interfere(o, src, *p);
+  }
+  e = row_end(aud_off_, aud_ids_, o);
+  for (const NodeId* p = row_begin(aud_off_, aud_ids_, o); p != e; ++p) {
+    if (!decode_bit(src, *p)) continue;
+    ++interference_checks_;
+    interfere(src, o, *p);
+  }
 }
 
 void Medium::start_transmission(NodeId src, const Frame& frame,
                                 sim::Duration airtime, bool slot_committed) {
   if (!finalized_) throw std::logic_error("Medium: not finalized");
   last_start_slot_committed_ = slot_committed;
-  NodeRec& source = nodes_[static_cast<std::size_t>(src)];
-  if (source.transmitting)
+  const auto si = static_cast<std::size_t>(src);
+  if (transmitting_[si])
     throw std::logic_error("Medium: node already transmitting");
   assert(frame.src == src);
   assert(airtime > sim::Duration::zero());
@@ -94,44 +357,60 @@ void Medium::start_transmission(NodeId src, const Frame& frame,
 
   // Reuse this node's pooled slot: overwrite the previous occupant in
   // place and reset its corruption marks.
-  TxSlot& tx = tx_slots_[static_cast<std::size_t>(src)];
+  TxSlot& tx = tx_slots_[si];
   tx.id = id;
   tx.end = end;
   tx.frame = frame;
   std::fill_n(corrupt_words(src), words_per_tx_, std::uint64_t{0});
 
-  // Mutual-corruption bookkeeping against transmissions already in flight.
-  // For each active transmission F and the new one G:
-  //  * G's source is a dead receiver for F (half-duplex), and every node
-  //    that hears G loses its copy of F;
-  //  * symmetrically, F's source and everyone who hears F lose their copy
-  //    of G.
-  // (Mark order is irrelevant — marking only sets per-receiver bits — so
-  // iterating active_ in its unordered swap-removal order is fine.)
-  for (NodeId o : active_) {
-    const TxSlot& other = tx_slots_[static_cast<std::size_t>(o)];
-    // Transmissions are half-open intervals [start, end): one that ends
-    // exactly now does not overlap us, even if its end event has not fired
-    // yet (event ordering at equal timestamps is insertion order).
-    if (other.end <= start) continue;
-    // Half-duplex: each source is a dead receiver for the other frame,
-    // capture or not.
-    mark_corrupt(o, src);
-    mark_corrupt(src, o);
-    // Mutual interference at every receiver in range (capture-aware).
-    for (NodeId r : source.audible_at) interfere(o, src, r);
-    const auto& other_src = nodes_[static_cast<std::size_t>(o)];
-    for (NodeId r : other_src.audible_at) interfere(src, o, r);
+  // Interference marking against transmissions already in flight.
+  // Transmissions are half-open intervals [start, end): one that ends
+  // exactly now does not overlap us, even if its end event has not fired
+  // yet (event ordering at equal timestamps is insertion order).
+  if (!incremental_) {
+    for (const NodeId o : active_) {
+      ++pairs_scanned_;
+      if (tx_slots_[static_cast<std::size_t>(o)].end <= start) continue;
+      mark_pair_legacy(src, o);
+    }
+  } else if (peers_built_) {
+    // Only peers can observably interact (see build_peer_index); in-flight
+    // non-peers are skipped without even a timestamp load.
+    const NodeId* e = row_end(peer_off_, peer_ids_, src);
+    for (const NodeId* p = row_begin(peer_off_, peer_ids_, src); p != e; ++p) {
+      const NodeId o = *p;
+      if (!transmitting_[static_cast<std::size_t>(o)]) continue;
+      ++pairs_scanned_;
+      if (tx_slots_[static_cast<std::size_t>(o)].end <= start) continue;
+      if (have_masks_)
+        mark_pair_masked(src, o);
+      else
+        mark_pair_legacy(src, o);
+    }
+  } else {
+    // Peer index declined (dense topology): scan the in-flight list like
+    // the legacy path, still mask-filtering the per-receiver work.
+    for (const NodeId o : active_) {
+      ++pairs_scanned_;
+      if (tx_slots_[static_cast<std::size_t>(o)].end <= start) continue;
+      if (have_masks_)
+        mark_pair_masked(src, o);
+      else
+        mark_pair_legacy(src, o);
+    }
   }
 
-  source.transmitting = true;
+  transmitting_[si] = 1;
   tx.active_pos = static_cast<std::uint32_t>(active_.size());
   active_.push_back(src);
 
   // Carrier-sense: every listener audible to us sees one more transmission.
-  for (NodeId o : source.audible_at) {
-    NodeRec& obs = nodes_[static_cast<std::size_t>(o)];
-    if (++obs.sensed_count == 1) obs.client->on_channel_busy(start);
+  {
+    const NodeId* e = row_end(aud_off_, aud_ids_, src);
+    for (const NodeId* p = row_begin(aud_off_, aud_ids_, src); p != e; ++p) {
+      const auto o = static_cast<std::size_t>(*p);
+      if (++sensed_count_[o] == 1) clients_[o]->on_channel_busy(start);
+    }
   }
   // The flag is only meaningful inside the synchronous busy cascade above;
   // drop it so a later out-of-cascade read gets the conservative answer.
@@ -141,7 +420,8 @@ void Medium::start_transmission(NodeId src, const Frame& frame,
 }
 
 void Medium::end_transmission(NodeId src, std::uint64_t tx_id) {
-  TxSlot& tx = tx_slots_[static_cast<std::size_t>(src)];
+  const auto si = static_cast<std::size_t>(src);
+  TxSlot& tx = tx_slots_[si];
   assert(tx.id == tx_id && "transmission ended twice");
   (void)tx_id;
 
@@ -153,8 +433,7 @@ void Medium::end_transmission(NodeId src, std::uint64_t tx_id) {
   active_.pop_back();
   tx.id = 0;
 
-  NodeRec& source = nodes_[static_cast<std::size_t>(src)];
-  source.transmitting = false;
+  transmitting_[si] = 0;
 
   const sim::Time now = sim_.now();
 
@@ -168,20 +447,22 @@ void Medium::end_transmission(NodeId src, std::uint64_t tx_id) {
   // BEFORE the carrier-sense release, so that when the idle transition
   // fires a receiver already knows whether the ending busy period carried
   // an intelligible frame (the MAC's EIFS rule depends on this).
-  for (NodeId r : source.decodable_at) {
-    const bool clean =
-        ((scratch_corrupt_[static_cast<std::size_t>(r) >> 6] >>
-          (static_cast<unsigned>(r) & 63u)) &
-         1u) == 0;
-    if (!clean) ++corrupt_deliveries_;
-    nodes_[static_cast<std::size_t>(r)].client->on_frame_received(frame, clean,
-                                                                  now);
+  {
+    const NodeId* e = row_end(dec_off_, dec_ids_, src);
+    for (const NodeId* p = row_begin(dec_off_, dec_ids_, src); p != e; ++p) {
+      const auto r = static_cast<std::size_t>(*p);
+      const bool clean =
+          ((scratch_corrupt_[r >> 6] >> (r & 63u)) & 1u) == 0;
+      if (!clean) ++corrupt_deliveries_;
+      clients_[r]->on_frame_received(frame, clean, now);
+    }
   }
 
-  for (NodeId o : source.audible_at) {
-    NodeRec& obs = nodes_[static_cast<std::size_t>(o)];
-    assert(obs.sensed_count > 0);
-    if (--obs.sensed_count == 0) obs.client->on_channel_idle(now);
+  const NodeId* e = row_end(aud_off_, aud_ids_, src);
+  for (const NodeId* p = row_begin(aud_off_, aud_ids_, src); p != e; ++p) {
+    const auto o = static_cast<std::size_t>(*p);
+    assert(sensed_count_[o] > 0);
+    if (--sensed_count_[o] == 0) clients_[o]->on_channel_idle(now);
   }
 }
 

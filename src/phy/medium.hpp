@@ -16,6 +16,22 @@
 // This reproduces both the fully connected behaviour (slot-synchronized
 // collisions) and the hidden-node behaviour (partial-overlap collisions
 // invisible to the transmitters) of the paper's ns-3 setup.
+//
+// Interference marking has two implementations selected by WLAN_INCR_MEDIUM
+// (default on; see ARCHITECTURE.md "Incremental interference marking"):
+//  * legacy (=0): each start scans EVERY in-flight transmission and marks
+//    every receiver audible to either source — O(active x audibility);
+//  * incremental (=1): each start visits only the source's precomputed
+//    "interference peers" (sources whose concurrent transmission could
+//    change an observable reception) and marks only receivers that can
+//    decode the victim — bits of undecodable receivers are never read by
+//    delivery, so skipping them is invisible. In a multi-cell plan the peer
+//    list is the local neighbourhood, not the whole ESS.
+// Both paths produce byte-identical simulations: the marks they differ on
+// are provably unread, marking is commutative and idempotent, and the
+// carrier-sense / delivery callback orders are unchanged.
+// tests/test_medium_differential.cpp pins this with randomized series-hash
+// comparisons; CI additionally cmp-gates driver CSVs across the knob.
 #pragma once
 
 #include <cstdint>
@@ -56,8 +72,18 @@ class Medium {
   /// added before finalize().
   NodeId add_node(const Vec2& position, MediumClient& client);
 
-  /// Precomputes the audibility/decodability adjacency. Must be called once
-  /// after the last add_node and before any transmission.
+  /// Registers a radio slot at `position` whose client is supplied later by
+  /// bind_client() — lets callers reserve the id space first and construct
+  /// the clients contiguously afterwards (mac::Network's station arena).
+  NodeId add_node(const Vec2& position);
+
+  /// Binds (or rebinds) the client of a node added without one. Must happen
+  /// before finalize(), which rejects unbound nodes.
+  void bind_client(NodeId n, MediumClient& client);
+
+  /// Precomputes the audibility/decodability adjacency (and, on the
+  /// incremental path, the peer index). Must be called once after the last
+  /// add_node and before any transmission.
   void finalize();
 
   /// Enables the (pairwise) capture effect: a receiver keeps its copy of a
@@ -91,9 +117,9 @@ class Medium {
   /// start triggers.
   bool last_start_slot_committed() const { return last_start_slot_committed_; }
 
-  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_nodes() const { return positions_.size(); }
   const Vec2& position(NodeId n) const {
-    return nodes_[static_cast<std::size_t>(n)].position;
+    return positions_[static_cast<std::size_t>(n)];
   }
 
   /// True if `observer` senses transmissions from `source`.
@@ -105,6 +131,28 @@ class Medium {
   /// Lifetime counters (for stats and micro-benchmarks).
   std::uint64_t transmissions_started() const { return tx_started_; }
   std::uint64_t corrupt_deliveries() const { return corrupt_deliveries_; }
+  /// (new tx, in-flight tx) candidate pairs examined by interference
+  /// marking — the quantity the incremental path shrinks.
+  std::uint64_t marking_pairs_scanned() const { return pairs_scanned_; }
+  /// Per-receiver interference checks performed (mask-filtered on the
+  /// incremental path; every audible receiver on the legacy path).
+  std::uint64_t interference_checks() const { return interference_checks_; }
+
+  /// Incremental marking master switch (WLAN_INCR_MEDIUM, default on),
+  /// latched per Medium at construction. set_incremental_override forces it
+  /// in-process for differential tests: -1 = follow the environment, 0/1 =
+  /// forced off/on.
+  static bool incremental_enabled();
+  static void set_incremental_override(int value);
+  /// The mode this instance latched at construction.
+  bool incremental() const { return incremental_; }
+
+  /// True when the peer index was built (incremental mode, and the
+  /// estimated build work stayed under its cap — dense all-pairs topologies
+  /// fall back to scanning the in-flight list, which is then optimal).
+  bool has_peer_index() const { return peers_built_; }
+  /// Interference peers of `s` (ascending); empty when no index was built.
+  std::vector<NodeId> interference_peers(NodeId s) const;
 
  private:
   /// Per-source transmission slot. A node has at most one frame in flight
@@ -118,29 +166,70 @@ class Medium {
     std::uint32_t active_pos = 0;  // index into active_ while in flight
   };
 
-  struct NodeRec {
-    Vec2 position;
-    MediumClient* client = nullptr;
-    int sensed_count = 0;  // active transmissions audible here (not own)
-    bool transmitting = false;
-    std::vector<NodeId> audible_at;    // nodes that sense this node's tx
-    std::vector<NodeId> decodable_at;  // nodes that can decode this node
-  };
-
   /// Marks `receiver`'s copy of `tx_src`'s current frame corrupt.
   void mark_corrupt(NodeId tx_src, NodeId receiver);
   /// Marks `receiver`'s copy of `victim_src`'s frame corrupt unless
   /// capture saves it from `interferer`.
   void interfere(NodeId victim_src, NodeId interferer, NodeId receiver);
+  /// Mutual marking for one (new tx `src`, in-flight tx `o`) pair.
+  void mark_pair_legacy(NodeId src, NodeId o);
+  void mark_pair_masked(NodeId src, NodeId o);
   void end_transmission(NodeId src, std::uint64_t tx_id);
+
+  void build_adjacency();
+  void build_decode_mask();
+  void build_peer_index();
 
   std::uint64_t* corrupt_words(NodeId tx_src) {
     return corrupt_.data() + static_cast<std::size_t>(tx_src) * words_per_tx_;
   }
+  /// Bit r of source s's decode mask: r can decode s's frames.
+  bool decode_bit(NodeId s, NodeId r) const {
+    return (dec_mask_[static_cast<std::size_t>(s) * words_per_tx_ +
+                      (static_cast<std::size_t>(r) >> 6)] >>
+            (static_cast<unsigned>(r) & 63u)) &
+           1u;
+  }
+
+  // CSR row [off[s], off[s+1]) of `ids`.
+  const NodeId* row_begin(const std::vector<std::uint32_t>& off,
+                          const std::vector<NodeId>& ids, NodeId s) const {
+    return ids.data() + off[static_cast<std::size_t>(s)];
+  }
+  const NodeId* row_end(const std::vector<std::uint32_t>& off,
+                        const std::vector<NodeId>& ids, NodeId s) const {
+    return ids.data() + off[static_cast<std::size_t>(s) + 1];
+  }
 
   sim::Simulator& sim_;
   const PropagationModel& propagation_;
-  std::vector<NodeRec> nodes_;
+
+  // Hot per-node state, structure-of-arrays: the carrier-sense cascade
+  // touches sensed_count_ for a contiguous run of neighbours without
+  // dragging positions/adjacency bookkeeping through the cache.
+  std::vector<Vec2> positions_;
+  std::vector<MediumClient*> clients_;
+  std::vector<std::int32_t> sensed_count_;  // audible active tx (not own)
+  std::vector<std::uint8_t> transmitting_;
+
+  // Adjacency in CSR form, rows ascending (identical iteration order to the
+  // per-node vectors this replaced — callback order is behaviour).
+  std::vector<std::uint32_t> aud_off_;  // audible_at: nodes that sense s
+  std::vector<NodeId> aud_ids_;
+  std::vector<std::uint32_t> dec_off_;  // decodable_at: nodes that decode s
+  std::vector<NodeId> dec_ids_;
+
+  // Incremental-path index (built at finalize when incremental_):
+  //  * peer CSR — sources whose concurrent transmission could observably
+  //    interact with s's (see build_peer_index for the four conditions);
+  //  * dec_mask_ — per-source receiver bitmask mirroring dec CSR, for O(1)
+  //    "would this mark ever be read?" filtering.
+  std::vector<std::uint32_t> peer_off_;
+  std::vector<NodeId> peer_ids_;
+  std::vector<std::uint64_t> dec_mask_;
+  bool peers_built_ = false;
+  bool have_masks_ = false;
+
   std::vector<TxSlot> tx_slots_;  // one per node, sized at finalize()
   std::vector<NodeId> active_;    // sources in flight (swap-removed, unordered)
   /// Flat corruption marks, sized once at finalize(): bit `r` of the
@@ -150,11 +239,14 @@ class Medium {
   std::vector<std::uint64_t> scratch_corrupt_;  // delivery-time snapshot
   std::size_t words_per_tx_ = 0;
   bool finalized_ = false;
+  bool incremental_ = true;
   double capture_ratio_ = 0.0;  // <= 0: no capture
   bool last_start_slot_committed_ = false;
   std::uint64_t next_tx_id_ = 1;
   std::uint64_t tx_started_ = 0;
   std::uint64_t corrupt_deliveries_ = 0;
+  std::uint64_t pairs_scanned_ = 0;
+  std::uint64_t interference_checks_ = 0;
 };
 
 }  // namespace wlan::phy

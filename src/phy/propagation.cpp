@@ -57,16 +57,23 @@ std::uint64_t hash_double(double v) {
 ShadowedDisc::ShadowedDisc(double decode_radius, double sense_radius,
                            double shadow_probability, std::uint64_t seed,
                            Vec2 protected_position)
+    : ShadowedDisc(decode_radius, sense_radius, shadow_probability, seed,
+                   std::vector<Vec2>{protected_position}) {}
+
+ShadowedDisc::ShadowedDisc(double decode_radius, double sense_radius,
+                           double shadow_probability, std::uint64_t seed,
+                           std::vector<Vec2> protected_positions)
     : base_(decode_radius, sense_radius),
       shadow_probability_(shadow_probability),
       seed_(seed),
-      protected_(protected_position) {
+      protected_(std::move(protected_positions)) {
   if (shadow_probability < 0.0 || shadow_probability > 1.0)
     throw std::invalid_argument("ShadowedDisc: probability outside [0,1]");
 }
 
 bool ShadowedDisc::shadowed(const Vec2& a, const Vec2& b) const {
-  if (a == protected_ || b == protected_) return false;
+  for (const Vec2& p : protected_)
+    if (a == p || b == p) return false;
   // Symmetric, deterministic per (seed, unordered pair): order the
   // endpoints lexicographically and hash their coordinate bit patterns.
   const Vec2* lo = &a;

@@ -31,6 +31,13 @@ class PropagationModel {
   /// capture model). Default: all links equally strong, which makes
   /// capture impossible for any threshold > 1.
   virtual double rx_power(const Vec2& from, const Vec2& to) const;
+
+  /// Upper bound on the distance at which can_sense or can_decode can be
+  /// true; <= 0 means "no bound known". When a bound exists, phy::Medium's
+  /// incremental path builds its adjacency through a spatial index instead
+  /// of testing every node pair — the adjacency itself is identical either
+  /// way (candidates are filtered by the exact predicates).
+  virtual double max_range() const { return 0.0; }
 };
 
 /// Hard-threshold discs: sense iff distance <= sense_radius, decode iff
@@ -46,6 +53,10 @@ class DiscPropagation final : public PropagationModel {
   /// Log-distance power law: (1 + d)^(-path_loss_exponent). The +1 keeps
   /// zero-distance links finite; only ratios matter.
   double rx_power(const Vec2& from, const Vec2& to) const override;
+
+  double max_range() const override {
+    return decode_radius_ > sense_radius_ ? decode_radius_ : sense_radius_;
+  }
 
   double decode_radius() const { return decode_radius_; }
   double sense_radius() const { return sense_radius_; }
@@ -73,9 +84,18 @@ class ShadowedDisc final : public PropagationModel {
                double shadow_probability, std::uint64_t seed,
                Vec2 protected_position = Vec2{0.0, 0.0});
 
+  /// ESS variant: links involving ANY of `protected_positions` (every
+  /// cell's AP) are exempt from shadowing. The pair hash is unchanged, so
+  /// a one-entry vector at the origin is the classic constructor.
+  ShadowedDisc(double decode_radius, double sense_radius,
+               double shadow_probability, std::uint64_t seed,
+               std::vector<Vec2> protected_positions);
+
   bool can_sense(const Vec2& from, const Vec2& to) const override;
   bool can_decode(const Vec2& from, const Vec2& to) const override;
   double rx_power(const Vec2& from, const Vec2& to) const override;
+  /// Shadowing only removes links, so the disc bound still holds.
+  double max_range() const override { return base_.max_range(); }
 
   /// True when the (unordered) pair is blocked by an obstacle.
   bool shadowed(const Vec2& a, const Vec2& b) const;
@@ -84,7 +104,7 @@ class ShadowedDisc final : public PropagationModel {
   DiscPropagation base_;
   double shadow_probability_;
   std::uint64_t seed_;
-  Vec2 protected_;
+  std::vector<Vec2> protected_;
 };
 
 /// Position-independent model driven by explicit adjacency matrices, indexed
