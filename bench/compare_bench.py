@@ -29,6 +29,14 @@ so a PR adding a bench case cannot merge without recording it. Exit codes:
      recorded repeat_identity_ok=false. NOT silenced by --advisory (pass
      --skip-identity when comparing across machines/compilers, where libm
      differences legitimately move the last ulp of the series).
+
+Per-case substrate counters ("counters" objects, written by newer
+bench_macro_dynamic builds) are compared too when both files carry them;
+drift is printed as COUNTER lines. Counter drift is always advisory — it
+never affects the exit code. The counters are deterministic for a given
+build, so drift usually means the substrate legitimately changed shape
+(e.g. a scheduling optimisation fires fewer events) and the baseline
+should be re-recorded in the same PR.
 """
 
 import argparse
@@ -37,10 +45,11 @@ import sys
 
 
 def load_cases(path):
-    """Returns ({name: value}, {name: series_hash}, repeat_identity_ok)."""
+    """Returns ({name: value}, {name: series_hash}, {name: {counter: value}},
+    repeat_identity_ok)."""
     with open(path) as f:
         data = json.load(f)
-    values, hashes = {}, {}
+    values, hashes, counters = {}, {}, {}
     identity_ok = True
     if "benchmarks" in data:  # google-benchmark schema
         for b in data["benchmarks"]:
@@ -56,7 +65,32 @@ def load_cases(path):
             h = c.get("series_hash", "0" * 16)
             if set(h) != {"0"}:
                 hashes[c["name"]] = h
-    return values, hashes, identity_ok
+            if c.get("counters"):
+                counters[c["name"]] = {k: float(v)
+                                       for k, v in c["counters"].items()}
+    return values, hashes, counters, identity_ok
+
+
+def report_counter_drift(base_counters, cur_counters):
+    """Prints COUNTER lines for drifted substrate counters. Advisory only:
+    the return value is the number of drifted counters, never an exit code
+    input."""
+    drifted = 0
+    for name in sorted(set(base_counters) & set(cur_counters)):
+        base, cur = base_counters[name], cur_counters[name]
+        for key in sorted(set(base) & set(cur)):
+            if base[key] != cur[key]:
+                print(f"COUNTER: {name}.{key}: base {base[key]:.17g} "
+                      f"!= cur {cur[key]:.17g}")
+                drifted += 1
+        missing = sorted(set(base) - set(cur))
+        if missing:
+            print(f"COUNTER: {name}: baseline counter(s) absent from the "
+                  f"current run: {', '.join(missing)}")
+    if drifted:
+        print(f"ADVISORY: {drifted} substrate counter(s) drifted "
+              f"(re-record the baseline if the change is intended)")
+    return drifted
 
 
 def main():
@@ -92,8 +126,9 @@ def main():
                   f"(want NAME=FRACTION)", file=sys.stderr)
             return 1
 
-    base_vals, base_hashes, _ = load_cases(args.baseline)
-    cur_vals, cur_hashes, cur_identity_ok = load_cases(args.current)
+    base_vals, base_hashes, base_counters, _ = load_cases(args.baseline)
+    cur_vals, cur_hashes, cur_counters, cur_identity_ok = \
+        load_cases(args.current)
 
     identity_failed = False
     if not cur_identity_ok:
@@ -150,6 +185,8 @@ def main():
     if gone:
         print(f"(baseline cases absent from the current run, ignored: "
               f"{', '.join(gone)})")
+
+    report_counter_drift(base_counters, cur_counters)
 
     if identity_failed:
         print("FAIL: bit-identity check")

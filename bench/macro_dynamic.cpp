@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "substrate_cases.hpp"
 #include "util/fnv.hpp"
 
@@ -60,9 +61,27 @@ struct Case {
   double value = 0.0;
   double wall_seconds = 0.0;
   std::uint64_t series_hash = 0;  // 0 = not applicable
+  /// Deterministic substrate counters for the run behind this case (empty
+  /// for the micro loops); compare_bench.py reports their drift alongside
+  /// the timing comparison, advisory only.
+  std::vector<obs::Metric> counters;
 };
 
 std::vector<Case> g_cases;
+
+/// The counter subset worth baselining: the per-run sim/medium/mac/traffic
+/// counters, which are deterministic for a deterministic run. cache.* is
+/// process-cumulative (depends on case order) and profile.* is wall-clock;
+/// both excluded.
+std::vector<obs::Metric> bench_counters(const exp::RunResult& run) {
+  std::vector<obs::Metric> out;
+  for (const auto& m : run.metrics.entries()) {
+    if (m.name.rfind("sim.", 0) == 0 || m.name.rfind("medium.", 0) == 0 ||
+        m.name.rfind("mac.", 0) == 0 || m.name.rfind("traffic.", 0) == 0)
+      out.push_back(m);
+  }
+  return out;
+}
 
 /// Runs a Fig. 8/10-style dynamic scenario and records simulated seconds
 /// per wall second (higher is better). Returns the series hash.
@@ -81,6 +100,7 @@ std::uint64_t macro_case(const std::string& name,
   c.value = horizon / wall;
   c.wall_seconds = wall;
   c.series_hash = hash_run(run);
+  c.counters = bench_counters(run);
   g_cases.push_back(c);
   std::printf("%-28s %8.2f sim-s/wall-s  (%.2f s wall, hash %016" PRIx64
               ")\n",
@@ -113,6 +133,7 @@ void multicell_case(const std::string& name, int cells, int per_cell,
   c.value = sim_total / wall;
   c.wall_seconds = wall;
   c.series_hash = hash_run(run);
+  c.counters = bench_counters(run);
   g_cases.push_back(c);
   std::printf("%-28s %8.2f sim-s/wall-s  (%.2f s wall, hash %016" PRIx64
               ")\n",
@@ -194,9 +215,17 @@ void write_json(const char* path, bool identity_ok) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"metric\": \"%s\", \"value\": "
                  "%.6g, \"wall_seconds\": %.6g, \"series_hash\": "
-                 "\"%016" PRIx64 "\"}%s\n",
+                 "\"%016" PRIx64 "\"",
                  c.name.c_str(), c.metric.c_str(), c.value, c.wall_seconds,
-                 c.series_hash, i + 1 < g_cases.size() ? "," : "");
+                 c.series_hash);
+    if (!c.counters.empty()) {
+      std::fprintf(f, ", \"counters\": {");
+      for (std::size_t k = 0; k < c.counters.size(); ++k)
+        std::fprintf(f, "%s\"%s\": %.17g", k > 0 ? ", " : "",
+                     c.counters[k].name.c_str(), c.counters[k].value);
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}%s\n", i + 1 < g_cases.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

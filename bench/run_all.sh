@@ -63,6 +63,15 @@ if [[ ${#benches[@]} -eq 0 ]]; then
   exit 1
 fi
 
+# Peak-RSS measurement: GNU time (usually /usr/bin/time, NOT the bash
+# builtin) reports "Maximum resident set size (kbytes)" with -v. When it is
+# unavailable the summary's max_rss_kb column degrades to empty cells —
+# never a failure.
+gnu_time=""
+if /usr/bin/time -v true >/dev/null 2>&1; then
+  gnu_time="/usr/bin/time"
+fi
+
 # One driver: run it inside its own results/<driver>/ directory so the CSV
 # it writes to the CWD lands there, tee the console output to driver.log,
 # and leave a .failed marker for the final tally.
@@ -71,21 +80,31 @@ run_one() {
   name="$(basename "${bin}")"
   out="${results_dir}/${name#bench_}"
   mkdir -p "${out}"
-  rm -f "${out}/.failed" "${out}/.wall_seconds"
+  rm -f "${out}/.failed" "${out}/.wall_seconds" "${out}/.max_rss_kb"
+  local -a timer=()
+  if [[ -n ${gnu_time} ]]; then
+    timer=("${gnu_time}" -v -o "${out}/.time_v")
+  fi
   t0="$(date +%s.%N)"
   if [[ ${name} == bench_micro_substrate ]]; then
     # google-benchmark driver: emits JSON instead of a CSV.
-    (cd "${out}" && "${bin}" --benchmark_out="${out}/micro_substrate.json" \
-                             --benchmark_out_format=json) \
+    (cd "${out}" && "${timer[@]}" "${bin}" \
+                    --benchmark_out="${out}/micro_substrate.json" \
+                    --benchmark_out_format=json) \
         > "${out}/driver.log" 2>&1 || touch "${out}/.failed"
   else
-    (cd "${out}" && "${bin}") > "${out}/driver.log" 2>&1 \
+    (cd "${out}" && "${timer[@]}" "${bin}") > "${out}/driver.log" 2>&1 \
         || touch "${out}/.failed"
   fi
   t1="$(date +%s.%N)"
   # Per-driver wall clock, assembled into results/summary.csv at the end.
   awk -v a="${t0}" -v b="${t1}" 'BEGIN { printf "%.2f\n", b - a }' \
       > "${out}/.wall_seconds"
+  if [[ -s "${out}/.time_v" ]]; then
+    awk -F': ' '/Maximum resident set size/ { print $2 }' "${out}/.time_v" \
+        > "${out}/.max_rss_kb"
+    rm -f "${out}/.time_v"
+  fi
   if [[ -e "${out}/.failed" ]]; then
     echo "<== ${name} FAILED (log: ${out}/driver.log)"
   else
@@ -95,7 +114,8 @@ run_one() {
 
 # Drop failure/timing markers from previous invocations (a driver that no
 # longer runs must not appear in this run's tally or summary.csv).
-rm -f "${results_dir}"/*/.failed "${results_dir}"/*/.wall_seconds
+rm -f "${results_dir}"/*/.failed "${results_dir}"/*/.wall_seconds \
+      "${results_dir}"/*/.max_rss_kb
 
 echo "Running ${#benches[@]} drivers, ${jobs} at a time ..."
 for bin in "${benches[@]}"; do
@@ -114,16 +134,19 @@ echo
 echo "Per-driver outputs in ${results_dir}/<driver>/:"
 ls -1 "${results_dir}"
 
-# Wall-clock summary across drivers (the slow ones are the optimization
-# targets — see ROADMAP's perf item).
+# Wall-clock + peak-RSS summary across drivers (the slow ones are the
+# optimization targets — see ROADMAP's perf item). max_rss_kb is empty when
+# GNU time is unavailable on this machine.
 summary="${results_dir}/summary.csv"
-echo "driver,wall_seconds,status" > "${summary}"
+echo "driver,wall_seconds,max_rss_kb,status" > "${summary}"
 for wall in "${results_dir}"/*/.wall_seconds; do
   [[ -e ${wall} ]] || continue
   dir="$(dirname "${wall}")"
   status=ok
   [[ -e "${dir}/.failed" ]] && status=failed
-  echo "$(basename "${dir}"),$(cat "${wall}"),${status}"
+  rss=""
+  [[ -s "${dir}/.max_rss_kb" ]] && rss="$(cat "${dir}/.max_rss_kb")"
+  echo "$(basename "${dir}"),$(cat "${wall}"),${rss},${status}"
 done | sort >> "${summary}"
 echo
 echo "Wall-clock summary (${summary}):"

@@ -19,8 +19,8 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       "compare_bench.py")
 
 
-def bench_json(cases, identity_ok=True):
-    return {
+def bench_json(cases, identity_ok=True, counters=None):
+    out = {
         "schema": "wlan-substrate-bench-v1",
         "repeat_identity_ok": identity_ok,
         "cases": [
@@ -29,6 +29,10 @@ def bench_json(cases, identity_ok=True):
             for name, value, series_hash in cases
         ],
     }
+    for c in out["cases"]:
+        if counters and c["name"] in counters:
+            c["counters"] = counters[c["name"]]
+    return out
 
 
 class CompareBenchTest(unittest.TestCase):
@@ -113,6 +117,35 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 2, proc.stdout)
         proc = self.run_compare(base, cur, "--skip-identity")
         self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_counter_drift_is_advisory_only(self):
+        base = bench_json([("a", 100.0, "0" * 16)],
+                          counters={"a": {"sim.events_executed": 1000,
+                                          "medium.tx_started": 40}})
+        cur = bench_json([("a", 100.0, "0" * 16)],
+                         counters={"a": {"sim.events_executed": 990,
+                                         "medium.tx_started": 40}})
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("COUNTER: a.sim.events_executed", proc.stdout)
+        self.assertNotIn("COUNTER: a.medium.tx_started", proc.stdout)
+
+    def test_matching_counters_stay_silent(self):
+        data = bench_json([("a", 100.0, "0" * 16)],
+                          counters={"a": {"sim.events_executed": 1000}})
+        proc = self.run_compare(data, data)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertNotIn("COUNTER", proc.stdout)
+
+    def test_counterless_files_still_compare(self):
+        # Old baselines predate the counters object; comparing against them
+        # must not trip over its absence.
+        base = bench_json([("a", 100.0, "0" * 16)])
+        cur = bench_json([("a", 100.0, "0" * 16)],
+                         counters={"a": {"sim.events_executed": 1000}})
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertNotIn("COUNTER", proc.stdout)
 
     def test_identity_flag_false_exits_2(self):
         base = bench_json([("a", 100.0, "0" * 16)])

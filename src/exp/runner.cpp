@@ -5,6 +5,8 @@
 
 #include "exp/run_cache.hpp"
 #include "exp/sweep.hpp"
+#include "obs/collect.hpp"
+#include "obs/trace.hpp"
 #include "topology/hidden.hpp"
 
 namespace wlan::exp {
@@ -156,6 +158,29 @@ void collect_measurement(mac::Network& net, RunResult& result) {
     result.delay_p95_s = result.delays.quantile(0.95);
     result.delay_p99_s = result.delays.quantile(0.99);
   }
+
+  result.metrics = obs::collect_metrics(net);
+  obs::add_run_cache_metrics(result.metrics);
+  if (const obs::SimObs* o = net.simulator().obs();
+      o != nullptr && o->profiler.enabled())
+    obs::add_profile_metrics(result.metrics, o->profiler);
+  obs::maybe_export_metrics(result.metrics);
+}
+
+/// Attaches a capture-owned SimObs for the duration of the run; the
+/// returned owner must be declared before the network so it outlives it.
+std::unique_ptr<obs::SimObs> attach_capture(mac::Network& net,
+                                            obs::TraceCapture* capture) {
+  if (capture == nullptr) return nullptr;
+  auto o = std::make_unique<obs::SimObs>(capture->mask, capture->capacity);
+  net.simulator().attach_obs(o.get());
+  return o;
+}
+
+void finish_capture(obs::SimObs* o, obs::TraceCapture* capture) {
+  if (o == nullptr) return;
+  capture->records = o->trace.snapshot();
+  capture->dropped = o->trace.dropped();
 }
 
 }  // namespace
@@ -164,9 +189,10 @@ RunResult run_scenario(const ScenarioConfig& scenario,
                        const SchemeConfig& scheme, const RunOptions& options) {
   // Cross-driver memoization (WLAN_RUN_CACHE): scalar results of the same
   // fully-bound point are simulated once per cache lifetime. Series
-  // recording bypasses the cache (series are not serialized).
-  const std::string cache_dir =
-      options.record_series ? std::string() : run_cache::directory();
+  // recording and trace captures bypass the cache (neither is serialized).
+  const std::string cache_dir = options.record_series || options.trace != nullptr
+                                    ? std::string()
+                                    : run_cache::directory();
   std::uint64_t cache_key = 0;
   if (!cache_dir.empty()) {
     cache_key = run_cache::key_hash(scenario, scheme, options);
@@ -177,7 +203,10 @@ RunResult run_scenario(const ScenarioConfig& scenario,
   RunResult result;
   result.hidden_pairs = hidden_pairs_of(scenario);
 
+  // Declared before `net` so the attached bundle outlives the simulator.
+  std::unique_ptr<obs::SimObs> capture_obs;
   auto net = build_network(scenario, scheme);
+  capture_obs = attach_capture(*net, options.trace);
   if (options.record_series) {
     install_sampler(*net, scheme, options.sample_period, result);
     // Station node ids start after the APs (one AP historically, so the
@@ -200,6 +229,7 @@ RunResult run_scenario(const ScenarioConfig& scenario,
   net->run_for(options.measure);
 
   collect_measurement(*net, result);
+  finish_capture(capture_obs.get(), options.trace);
   if (!cache_dir.empty()) run_cache::store(cache_dir, cache_key, result);
   return result;
 }
@@ -220,11 +250,13 @@ RunResult run_dynamic(const ScenarioConfig& scenario,
                       const SchemeConfig& scheme,
                       const std::vector<PopulationStep>& schedule,
                       sim::Duration total_duration,
-                      sim::Duration sample_period) {
+                      sim::Duration sample_period, obs::TraceCapture* trace) {
   RunResult result;
   result.hidden_pairs = hidden_pairs_of(scenario);
 
+  std::unique_ptr<obs::SimObs> capture_obs;
   auto net = build_network(scenario, scheme);
+  capture_obs = attach_capture(*net, trace);
   install_sampler(*net, scheme, sample_period, result);
   net->start();
 
@@ -243,6 +275,7 @@ RunResult run_dynamic(const ScenarioConfig& scenario,
   net->run_for(total_duration);
 
   collect_measurement(*net, result);
+  finish_capture(capture_obs.get(), trace);
   return result;
 }
 

@@ -7,8 +7,13 @@
 #include <vector>
 
 #include "exp/scenario.hpp"
+#include "obs/metrics.hpp"
 #include "stats/delay.hpp"
 #include "stats/timeseries.hpp"
+
+namespace wlan::obs {
+struct TraceCapture;
+}
 
 namespace wlan::exp {
 
@@ -22,6 +27,11 @@ struct RunOptions {
   sim::Duration sample_period = sim::Duration::seconds(1.0);
   /// Record time series (throughput / control variable / stage).
   bool record_series = false;
+  /// When non-null, the run records an event trace into this capture
+  /// (mask/capacity in, records/dropped out — see obs/trace.hpp). Like
+  /// record_series, a capture bypasses the run cache: a cached result has
+  /// no simulator to trace. Not owned; must outlive the call.
+  obs::TraceCapture* trace = nullptr;
 };
 
 struct RunResult {
@@ -57,6 +67,12 @@ struct RunResult {
   /// Station index of each cleanly received data frame, in order (only
   /// when RunOptions::record_series; drives short-term fairness metrics).
   std::vector<int> success_sources;
+
+  /// Unified counter snapshot (sim.*, medium.*, mac.cohort.*, traffic.*,
+  /// cache.*; see obs/collect.hpp) taken when measurement ends. Empty on a
+  /// run-cache hit: the cache stores the science scalars above, not the
+  /// observability registry.
+  obs::MetricsRegistry metrics;
 
   // Time series over the WHOLE run (including warm-up), when requested.
   stats::TimeSeries throughput_series{"Mb/s"};
@@ -111,6 +127,7 @@ RunResult run_dynamic(const ScenarioConfig& scenario,
                       const SchemeConfig& scheme,
                       const std::vector<PopulationStep>& schedule,
                       sim::Duration total_duration,
-                      sim::Duration sample_period = sim::Duration::seconds(1));
+                      sim::Duration sample_period = sim::Duration::seconds(1),
+                      obs::TraceCapture* trace = nullptr);
 
 }  // namespace wlan::exp

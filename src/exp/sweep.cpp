@@ -1,9 +1,12 @@
 #include "exp/sweep.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
 
 namespace wlan::exp {
@@ -116,6 +119,34 @@ AveragedResult fold_seeds(const std::vector<RunResult>& runs) {
   return avg;
 }
 
+/// With WLAN_PROFILE on, reports each pool lane's aggregate phase profile
+/// (the per-run registries carry profile.* buckets; shard = the contiguous
+/// job block the lane executed). Pure reporting — reads finished results.
+void report_shard_profiles(const par::ThreadPool& pool,
+                           const std::vector<RunResult>& raw) {
+  if (!obs::SimObs::profile_enabled_by_env()) return;
+  for (int lane = 0; lane < pool.thread_count(); ++lane) {
+    const auto [first, last] = pool.block_of(lane, raw.size());
+    if (first >= last) continue;
+    obs::PhaseProfiler shard;
+    for (std::size_t i = first; i < last; ++i) {
+      for (unsigned c = 0; c < obs::kNumCategories; ++c) {
+        const auto cat = static_cast<obs::Category>(c);
+        const std::string base =
+            std::string("profile.") + obs::category_name(cat);
+        shard.add_bucket(
+            cat,
+            static_cast<std::uint64_t>(raw[i].metrics.get(base + ".events")),
+            static_cast<std::int64_t>(raw[i].metrics.get(base + ".wall_ns")));
+      }
+    }
+    const std::string label = "sweep shard " + std::to_string(lane) +
+                              " (runs " + std::to_string(first) + ".." +
+                              std::to_string(last - 1) + ")";
+    std::fputs(shard.report(label).c_str(), stderr);
+  }
+}
+
 }  // namespace
 
 const SweepPoint& SweepResult::at(std::size_t scenario, std::size_t scheme,
@@ -139,6 +170,8 @@ SweepResult run_sweep(const SweepSpec& spec, par::ThreadPool* pool) {
       jobs.size(), [&jobs, &spec](std::size_t i) {
         return run_scenario(jobs[i].scenario, jobs[i].scheme, spec.options);
       });
+
+  report_shard_profiles(*pool, raw);
 
   SweepResult result;
   result.num_scenarios = spec.scenarios.size();

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "mac/station.hpp"
+#include "obs/trace.hpp"
 
 namespace wlan::mac {
 
@@ -20,6 +21,8 @@ void ContentionArbiter::enroll(Station& station, sim::Duration ifs) {
   for (auto& c : pending_) {
     if (c->enrolled_at == now && c->ifs == ifs) {
       c->members.push_back(&station);
+      WLAN_OBS_POINT(sim_, obs::kCatCohort, obs::ev::kEnroll, station.id(),
+                     ifs.ns(), c->members.size());
       return;
     }
   }
@@ -42,10 +45,14 @@ void ContentionArbiter::enroll(Station& station, sim::Duration ifs) {
   });
   pending_.push_back(std::move(cohort));
   ++stats_.cohorts_formed;
+  WLAN_OBS_POINT(sim_, obs::kCatCohort, obs::ev::kCohortFormed, station.id(),
+                 ifs.ns(), stats_.cohorts_formed);
 }
 
 void ContentionArbiter::withdraw(Station& station) {
   ++stats_.withdrawals;
+  WLAN_OBS_POINT(sim_, obs::kCatCohort, obs::ev::kWithdraw, station.id(),
+                 stats_.withdrawals, 0);
   for (auto& c : pending_) {
     auto it = std::find(c->members.begin(), c->members.end(), &station);
     if (it == c->members.end()) continue;
@@ -111,6 +118,9 @@ void ContentionArbiter::pending_expired(PendingCohort* cohort) {
     backoff_.push_back(std::move(fresh));
   } else {
     ++stats_.entry_merges;
+    WLAN_OBS_POINT(sim_, obs::kCatCohort, obs::ev::kCohortMerge,
+                   cohort->members.front()->id(), cohort->ifs.ns(),
+                   target->members.size());
   }
 
   // Enter every member in enrollment order: each pre-draws its batch from
@@ -134,6 +144,9 @@ void ContentionArbiter::decision_due(BackoffCohort* cohort) {
   ++stats_.decisions_fired;
   const sim::Time now = sim_.now();
   assert(now == cohort->due);
+  WLAN_OBS_POINT(sim_, obs::kCatCohort, obs::ev::kCohortDecision,
+                 cohort->members.front()->id(), cohort->members.size(),
+                 stats_.decisions_fired);
 
   // Members in enrollment order == the seq order of the per-station
   // decision events this one event stands in for. Due members commit

@@ -131,7 +131,8 @@ void Network::finalize() {
     for (std::size_t i = 0; i < num_built_; ++i) {
       sources_.push_back(std::make_unique<traffic::TrafficSource>(
           sim_, traffic_config_, params_.payload_bits,
-          util::Rng(seed_, kTrafficStreamBase + i)));
+          util::Rng(seed_, kTrafficStreamBase + i),
+          static_cast<std::uint32_t>(i + static_cast<std::size_t>(num_aps()))));
       stations_[i].set_traffic_source(sources_[i].get());
     }
   }

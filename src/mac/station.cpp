@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "mac/contention_arbiter.hpp"
+#include "obs/trace.hpp"
 #include "traffic/source.hpp"
 #include "util/env.hpp"
 
@@ -71,6 +72,13 @@ void Station::set_contention_arbiter(ContentionArbiter* arbiter) {
   arbiter_ = arbiter;
 }
 
+void Station::set_state(State next) {
+  WLAN_OBS_POINT(sim_, obs::kCatStation, obs::ev::kStateChange, self_,
+                 static_cast<std::uint64_t>(state_),
+                 static_cast<std::uint64_t>(next));
+  state_ = next;
+}
+
 void Station::start() {
   assert(self_ != phy::kInvalidNode && "attach() must be called first");
   active_ = true;
@@ -99,28 +107,28 @@ void Station::set_active(bool active) {
       sim_.cancel(difs_event_);
       sim_.cancel(slot_event_);
       sim_.cancel(nav_event_);
-      state_ = State::kInactive;
+      set_state(State::kInactive);
     }
   }
 }
 
 void Station::resume_contention() {
   if (!active_) {
-    state_ = State::kInactive;
+    set_state(State::kInactive);
     return;
   }
   if (traffic_ != nullptr && !traffic_->has_data()) {
-    state_ = State::kNoData;  // parked; the source wakes us on arrival
+    set_state(State::kNoData);  // parked; the source wakes us on arrival
     return;
   }
   const sim::Time now = sim_.now();
   if (medium_.is_busy_for(self_)) {
-    state_ = State::kIdleWait;  // physical carrier sense
+    set_state(State::kIdleWait);  // physical carrier sense
     return;
   }
   if (now < nav_until_) {
     // Virtual carrier sense: sleep until the NAV expires, then re-check.
-    state_ = State::kIdleWait;
+    set_state(State::kIdleWait);
     sim_.cancel(nav_event_);
     nav_event_ = sim_.schedule_at(nav_until_, [this] {
       if (state_ == State::kIdleWait) resume_contention();
@@ -131,7 +139,7 @@ void Station::resume_contention() {
 }
 
 void Station::begin_ifs_wait(sim::Time) {
-  state_ = State::kDifsWait;
+  set_state(State::kDifsWait);
   // EIFS after an undecodable busy period, DIFS otherwise (802.11 9.3.2.3.7).
   const sim::Duration wait = eifs_pending_ ? params_.eifs() : params_.difs;
   eifs_pending_ = false;
@@ -142,7 +150,7 @@ void Station::begin_ifs_wait(sim::Time) {
     return;
   }
   difs_event_ = sim_.schedule_after(wait, [this] {
-    state_ = State::kBackoff;
+    set_state(State::kBackoff);
     if (batching_enabled()) {
       begin_backoff(/*fresh=*/true);
     } else {
@@ -215,7 +223,7 @@ void Station::begin_backoff(bool fresh) {
 void Station::cohort_enter_backoff() {
   assert(arbiter_ != nullptr);
   assert(state_ == State::kDifsWait);
-  state_ = State::kBackoff;
+  set_state(State::kBackoff);
   batch_limit_ = kMinBatchSlots;
   draw_batch();
 }
@@ -276,7 +284,7 @@ void Station::rollback_backoff(bool boundary_draw_counts) {
 void Station::commit_transmission() {
   // Commit now; radio starts via a same-time event so that every station
   // deciding at this slot boundary decides on the pre-transmission channel.
-  state_ = State::kTransmitting;
+  set_state(State::kTransmitting);
   sim_.schedule_after(sim::Duration::zero(), [this] { radio_transmit(); });
 }
 
@@ -299,7 +307,7 @@ void Station::radio_transmit() {
     medium_.start_transmission(self_, rts, params_.rts_airtime(),
                                /*slot_committed=*/true);
 
-    state_ = State::kWaitCts;
+    set_state(State::kWaitCts);
     cts_timeout_event_ = sim_.schedule_after(
         params_.cts_timeout_after_rts_start(), [this] { cts_timeout(); });
     return;
@@ -323,7 +331,7 @@ void Station::transmit_data_frame(bool slot_committed) {
   medium_.start_transmission(self_, frame, params_.data_airtime(),
                              slot_committed);
 
-  state_ = State::kWaitAck;
+  set_state(State::kWaitAck);
   ack_timeout_event_ = sim_.schedule_after(
       params_.ack_timeout_after_tx_start(), [this] { ack_timeout(); });
 }
@@ -343,7 +351,7 @@ void Station::ack_timeout() {
 }
 
 void Station::finish_exchange() {
-  state_ = State::kInactive;  // neutral; resume_contention reassigns
+  set_state(State::kInactive);  // neutral; resume_contention reassigns
   resume_contention();
 }
 
@@ -361,14 +369,14 @@ void Station::on_channel_busy(sim::Time now) {
         arbiter_->withdraw(*this);
       else
         sim_.cancel(difs_event_);
-      state_ = State::kIdleWait;
+      set_state(State::kIdleWait);
       break;
     case State::kBackoff:
       if (arbiter_ != nullptr)
         arbiter_->withdraw(*this);
       else
         sim_.cancel(slot_event_);
-      state_ = State::kIdleWait;
+      set_state(State::kIdleWait);
       break;
     case State::kIdleWait:
       sim_.cancel(nav_event_);  // re-established at the next idle
@@ -427,7 +435,7 @@ void Station::on_frame_received(const phy::Frame& frame, bool clean,
       if (frame.dst == self_ && state_ == State::kWaitCts) {
         sim_.cancel(cts_timeout_event_);
         // SIFS response: the data frame follows unconditionally.
-        state_ = State::kTransmitting;
+        set_state(State::kTransmitting);
         sim_.schedule_after(params_.sifs, [this] {
           if (state_ == State::kTransmitting)
             transmit_data_frame(/*slot_committed=*/false);

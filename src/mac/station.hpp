@@ -156,6 +156,10 @@ class Station final : public phy::MediumClient {
 
   friend class ContentionArbiter;
 
+  /// The single write path for state_: every transition goes through here
+  /// so the obs trace sees them all (and sees them nowhere else).
+  void set_state(State next);
+
   void resume_contention();
   void begin_ifs_wait(sim::Time now);
   /// Starts a decision batch. `fresh` is true on backoff entry (from the

@@ -1,0 +1,81 @@
+#include "obs/collect.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exp/run_cache.hpp"
+#include "mac/network.hpp"
+
+namespace wlan::obs {
+
+MetricsRegistry collect_metrics(mac::Network& net) {
+  MetricsRegistry reg;
+
+  const sim::Simulator& sim = net.simulator();
+  reg.set_count("sim.events_executed", sim.events_executed());
+  const sim::EventQueue::Stats qs = net.simulator().queue_stats();
+  reg.set_count("sim.queue.scheduled", qs.scheduled);
+  reg.set_count("sim.queue.fired", qs.fired);
+  reg.set_count("sim.queue.cancelled", qs.cancelled);
+  reg.set_count("sim.queue.stale_skipped", qs.stale_skipped);
+  reg.set_count("sim.queue.heap_callbacks", qs.heap_callbacks);
+  reg.set_count("sim.queue.cold_compares", qs.cold_compares);
+
+  const phy::Medium& medium = net.medium();
+  reg.set_count("medium.nodes", medium.num_nodes());
+  reg.set_count("medium.tx_started", medium.transmissions_started());
+  reg.set_count("medium.corrupt_deliveries", medium.corrupt_deliveries());
+  reg.set_count("medium.pairs_scanned", medium.marking_pairs_scanned());
+  reg.set_count("medium.interference_checks", medium.interference_checks());
+
+  if (const mac::ContentionArbiter* arb = net.contention_arbiter()) {
+    const mac::ContentionArbiter::Stats& as = arb->stats();
+    reg.set_count("mac.cohort.enrollments", as.enrollments);
+    reg.set_count("mac.cohort.cohorts_formed", as.cohorts_formed);
+    reg.set_count("mac.cohort.entry_merges", as.entry_merges);
+    reg.set_count("mac.cohort.decisions_fired", as.decisions_fired);
+    reg.set_count("mac.cohort.withdrawals", as.withdrawals);
+  }
+
+  if (net.traffic_enabled()) {
+    std::uint64_t arrivals = 0, drops = 0;
+    for (int i = 0; i < net.num_stations(); ++i) {
+      arrivals += net.traffic_source(i).arrivals();
+      drops += net.traffic_source(i).drops();
+    }
+    reg.set_count("traffic.arrivals", arrivals);
+    reg.set_count("traffic.drops", drops);
+  }
+
+  return reg;
+}
+
+void add_run_cache_metrics(MetricsRegistry& reg) {
+  const exp::run_cache::Stats cs = exp::run_cache::stats();
+  reg.set_count("cache.hits", cs.hits);
+  reg.set_count("cache.misses", cs.misses);
+}
+
+void add_profile_metrics(MetricsRegistry& reg, const PhaseProfiler& p) {
+  for (unsigned i = 0; i < kNumCategories; ++i) {
+    const Category c = static_cast<Category>(i);
+    if (p.events(c) == 0) continue;
+    const std::string base = std::string("profile.") + category_name(c);
+    reg.set_count(base + ".events", p.events(c));
+    reg.set_count(base + ".wall_ns", static_cast<std::uint64_t>(p.wall_ns(c)));
+  }
+}
+
+void maybe_export_metrics(const MetricsRegistry& reg) {
+  static const char* dir = std::getenv("WLAN_METRICS");
+  if (dir == nullptr || *dir == '\0') return;
+  static std::atomic<int> g_files{0};
+  char name[64];
+  std::snprintf(name, sizeof(name), "/metrics.%d.json",
+                g_files.fetch_add(1, std::memory_order_relaxed));
+  write_metrics_file(reg, std::string(dir) + name);
+}
+
+}  // namespace wlan::obs

@@ -1,0 +1,35 @@
+// Collectors: one call flattens every per-component Stats struct a
+// finished run holds into a MetricsRegistry. This is the only obs/ header
+// that looks DOWN the dependency stack (at mac::Network); the traced
+// components themselves only ever see obs/trace.hpp.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+
+namespace wlan::mac {
+class Network;
+}
+
+namespace wlan::obs {
+
+/// Snapshot of a finished run's counters: sim.* (executive + event heap),
+/// medium.*, mac.cohort.* (cohort path only) and traffic.* (finite-source
+/// runs only). Deterministic for a deterministic run — these are exactly
+/// the counters compare_bench.py tracks for drift.
+MetricsRegistry collect_metrics(mac::Network& net);
+
+/// Appends process-wide exp::run_cache hit/miss counters (cache.*).
+/// Cumulative across the process, so bench cases exclude them.
+void add_run_cache_metrics(MetricsRegistry& reg);
+
+/// Appends per-category profiler buckets (profile.<cat>.events /
+/// profile.<cat>.wall_ns). Wall times are machine-dependent; like cache.*
+/// they are for humans, not for drift comparison.
+void add_profile_metrics(MetricsRegistry& reg, const PhaseProfiler& p);
+
+/// When WLAN_METRICS=<dir> is set, writes `reg` to
+/// `<dir>/metrics.<n>.json` (n = process-wide counter). No-op otherwise.
+void maybe_export_metrics(const MetricsRegistry& reg);
+
+}  // namespace wlan::obs

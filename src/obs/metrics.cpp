@@ -1,0 +1,115 @@
+#include "obs/metrics.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace wlan::obs {
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  for (Metric& m : entries_) {
+    if (m.name == name) {
+      m.value = value;
+      return;
+    }
+  }
+  entries_.push_back(Metric{name, value});
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  for (const Metric& m : entries_)
+    if (m.name == name) return true;
+  return false;
+}
+
+double MetricsRegistry::get(const std::string& name, double fallback) const {
+  for (const Metric& m : entries_)
+    if (m.name == name) return m.value;
+  return fallback;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\n";
+  char buf[64];
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Metric& m = entries_[i];
+    // Counters are the common case: print integral values without an
+    // exponent so the files diff cleanly; %.17g preserves the rest
+    // bit-exactly through strtod.
+    if (m.value == std::floor(m.value) && std::abs(m.value) < 9.007199254740992e15) {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(m.value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.17g", m.value);
+    }
+    out += "  \"" + m.name + "\": " + buf;
+    out += i + 1 < entries_.size() ? ",\n" : "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+}  // namespace
+
+bool MetricsRegistry::parse_json(const std::string& json,
+                                 MetricsRegistry& out) {
+  out = MetricsRegistry();
+  std::size_t i = 0;
+  skip_ws(json, i);
+  if (i >= json.size() || json[i] != '{') return false;
+  ++i;
+  skip_ws(json, i);
+  if (i < json.size() && json[i] == '}') return true;  // empty object
+  while (true) {
+    skip_ws(json, i);
+    if (i >= json.size() || json[i] != '"') return false;
+    const std::size_t name_end = json.find('"', i + 1);
+    if (name_end == std::string::npos) return false;
+    const std::string name = json.substr(i + 1, name_end - i - 1);
+    i = name_end + 1;
+    skip_ws(json, i);
+    if (i >= json.size() || json[i] != ':') return false;
+    ++i;
+    skip_ws(json, i);
+    const char* start = json.c_str() + i;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) return false;
+    i += static_cast<std::size_t>(end - start);
+    out.set(name, value);
+    skip_ws(json, i);
+    if (i >= json.size()) return false;
+    if (json[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (json[i] == '}') return true;
+    return false;
+  }
+}
+
+bool write_metrics_file(const MetricsRegistry& reg, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << reg.to_json();
+  return static_cast<bool>(f);
+}
+
+bool read_metrics_file(const std::string& path, MetricsRegistry& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return MetricsRegistry::parse_json(ss.str(), out);
+}
+
+}  // namespace wlan::obs

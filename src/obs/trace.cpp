@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "util/env.hpp"
+
+namespace wlan::obs {
+
+namespace {
+
+// -1 = follow WLAN_TRACE, 0/1 = forced (tests; see set_trace_override).
+std::atomic<int> g_trace_override{-1};
+
+// Forced-on tracing keeps a deliberately small ring: the TSan sweep test
+// turns it on for every simulator a sweep constructs.
+constexpr std::size_t kOverrideCapacity = 1u << 14;
+
+constexpr std::size_t kDefaultCapacity = 1u << 18;
+
+const char* kCategoryNames[kNumCategories] = {
+    "sim", "medium", "mark", "station", "cohort", "traffic", "other",
+};
+
+const char* kEventNames[ev::kNumEvents] = {
+    "dispatch",       // kDispatch
+    "tx_start",       // kTxStart
+    "tx_end",         // kTxEnd
+    "deliver",        // kDeliver
+    "mark_corrupt",   // kMarkCorrupt
+    "state",          // kStateChange
+    "enroll",         // kEnroll
+    "cohort_formed",  // kCohortFormed
+    "cohort_merge",   // kCohortMerge
+    "cohort_decide",  // kCohortDecision
+    "withdraw",       // kWithdraw
+    "arrival",        // kArrival
+    "drop",           // kDrop
+};
+
+bool truthy(const std::string& v) {
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+bool falsy(const std::string& v) {
+  return v == "0" || v == "false" || v == "no" || v == "off";
+}
+
+struct EnvConfig {
+  bool trace = false;
+  std::uint32_t mask = kAllCategories;
+  std::size_t capacity = kDefaultCapacity;
+  std::string export_path;  // non-empty when WLAN_TRACE names a path prefix
+  bool profile = false;
+};
+
+// Read once per process: every Simulator construction consults this, and
+// the knobs are process-lifetime configuration, not per-run state.
+const EnvConfig& env_config() {
+  static const EnvConfig cfg = [] {
+    EnvConfig c;
+    if (const char* t = std::getenv("WLAN_TRACE"); t != nullptr && *t != '\0') {
+      const std::string v(t);
+      if (!falsy(v)) {
+        c.trace = true;
+        if (!truthy(v)) c.export_path = v;
+      }
+    }
+    if (const char* s = std::getenv("WLAN_TRACE_CATEGORIES");
+        s != nullptr && *s != '\0')
+      c.mask = parse_categories(s);
+    const std::int64_t cap = util::env_int(
+        "WLAN_TRACE_BUFFER", static_cast<std::int64_t>(kDefaultCapacity));
+    c.capacity = cap > 0 ? static_cast<std::size_t>(cap) : std::size_t{1};
+    c.profile = util::env_bool("WLAN_PROFILE", false);
+    return c;
+  }();
+  return cfg;
+}
+
+}  // namespace
+
+const char* category_name(Category c) {
+  const unsigned i = static_cast<unsigned>(c);
+  return i < kNumCategories ? kCategoryNames[i] : "?";
+}
+
+const char* event_name(std::uint16_t event) {
+  return event < ev::kNumEvents ? kEventNames[event] : "?";
+}
+
+std::uint32_t parse_categories(const std::string& spec) {
+  if (spec.empty() || spec == "all") return kAllCategories;
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string name = spec.substr(pos, comma - pos);
+    if (name == "all") return kAllCategories;
+    for (unsigned i = 0; i < kNumCategories; ++i)
+      if (name == kCategoryNames[i])
+        mask |= category_bit(static_cast<Category>(i));
+    pos = comma + 1;
+  }
+  return mask;
+}
+
+TraceRecorder::TraceRecorder(std::uint32_t mask, std::size_t capacity)
+    : mask_(mask), capacity_(capacity > 0 ? capacity : 1) {
+  // Grow-on-demand: a 256k-record default ring would be 8 MiB up front,
+  // most of it never touched by short runs.
+  buf_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+std::vector<TraceRecord> TraceRecorder::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(buf_.size());
+  if (buf_.size() < capacity_ || write_ == 0) {
+    out.assign(buf_.begin(), buf_.end());
+  } else {
+    out.assign(buf_.begin() + static_cast<std::ptrdiff_t>(write_), buf_.end());
+    out.insert(out.end(), buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(write_));
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  buf_.clear();
+  write_ = 0;
+  dropped_ = 0;
+}
+
+std::unique_ptr<SimObs> SimObs::from_env() {
+  const int forced = g_trace_override.load(std::memory_order_relaxed);
+  if (forced == 1) return std::make_unique<SimObs>(kAllCategories, kOverrideCapacity);
+  const EnvConfig& cfg = env_config();
+  const bool trace_on = forced == 0 ? false : cfg.trace;
+  if (!trace_on && !cfg.profile) return nullptr;
+  auto obs = std::make_unique<SimObs>(trace_on ? cfg.mask : 0u, cfg.capacity);
+  if (trace_on) obs->export_path = cfg.export_path;
+  if (cfg.profile) obs->profiler.enable();
+  return obs;
+}
+
+void SimObs::set_trace_override(int value) {
+  g_trace_override.store(value < 0 ? -1 : (value != 0 ? 1 : 0),
+                         std::memory_order_relaxed);
+}
+
+bool SimObs::profile_enabled_by_env() { return env_config().profile; }
+
+}  // namespace wlan::obs

@@ -1,0 +1,28 @@
+// Chrome trace-event JSON export: load the file at https://ui.perfetto.dev
+// (or chrome://tracing) and every node gets a track — transmissions render
+// as async spans, everything else as instant events. Timestamps are the
+// records' SIMULATED microseconds; wall time never appears.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace wlan::obs {
+
+/// The trace as a Chrome trace-event JSON document.
+std::string chrome_trace_json(const std::vector<TraceRecord>& records);
+
+/// Writes chrome_trace_json to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const std::vector<TraceRecord>& records,
+                        const std::string& path);
+
+/// Destructor-time auto-export used by sim::Simulator: writes the bundle's
+/// surviving records to `<obs.export_path><n>.trace.json` (empty
+/// export_path or an empty ring exports nothing). A process-wide counter
+/// caps the number of files at WLAN_TRACE_EXPORTS (default 8), so tracing
+/// a 10k-run sweep does not write 10k files.
+void export_on_destruction(SimObs& obs);
+
+}  // namespace wlan::obs

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "topology/spatial_grid.hpp"
 #include "util/env.hpp"
 
@@ -279,6 +280,10 @@ std::vector<NodeId> Medium::interference_peers(NodeId s) const {
 
 void Medium::mark_corrupt(NodeId tx_src, NodeId receiver) {
   if (receiver == tx_src) return;  // the source is never its own receiver
+  // kCatMark, not kCatMedium: mark volume differs across marking paths
+  // (masked skips unread marks), so trace diffs mask this category out.
+  WLAN_OBS_POINT(sim_, obs::kCatMark, obs::ev::kMarkCorrupt, receiver, tx_src,
+                 0);
   corrupt_words(tx_src)[static_cast<std::size_t>(receiver) >> 6] |=
       std::uint64_t{1} << (static_cast<unsigned>(receiver) & 63u);
 }
@@ -354,6 +359,10 @@ void Medium::start_transmission(NodeId src, const Frame& frame,
   const sim::Time end = start + airtime;
   const std::uint64_t id = next_tx_id_++;
   ++tx_started_;
+  WLAN_OBS_POINT(sim_, obs::kCatMedium, obs::ev::kTxStart, src,
+                 obs::pack_frame_detail(static_cast<unsigned>(frame.kind),
+                                        frame.dst, frame.seq),
+                 airtime.ns());
 
   // Reuse this node's pooled slot: overwrite the previous occupant in
   // place and reset its corruption marks.
@@ -442,6 +451,10 @@ void Medium::end_transmission(NodeId src, std::uint64_t tx_id) {
   // this very source, which would overwrite the slot mid-loop.
   const Frame frame = tx.frame;
   std::copy_n(corrupt_words(src), words_per_tx_, scratch_corrupt_.begin());
+  WLAN_OBS_POINT(sim_, obs::kCatMedium, obs::ev::kTxEnd, src,
+                 obs::pack_frame_detail(static_cast<unsigned>(frame.kind),
+                                        frame.dst, frame.seq),
+                 0);
 
   // Promiscuous delivery to every receiver that can decode the source —
   // BEFORE the carrier-sense release, so that when the idle transition
@@ -454,6 +467,10 @@ void Medium::end_transmission(NodeId src, std::uint64_t tx_id) {
       const bool clean =
           ((scratch_corrupt_[r >> 6] >> (r & 63u)) & 1u) == 0;
       if (!clean) ++corrupt_deliveries_;
+      WLAN_OBS_POINT(sim_, obs::kCatMedium, obs::ev::kDeliver, r,
+                     obs::pack_frame_detail(static_cast<unsigned>(frame.kind),
+                                            frame.dst, frame.seq),
+                     clean);
       clients_[r]->on_frame_received(frame, clean, now);
     }
   }

@@ -1,9 +1,52 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <chrono>
+#include <cstdio>
 #include <utility>
 
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+
 namespace wlan::sim {
+
+Simulator::Simulator() : owned_obs_(obs::SimObs::from_env()) {
+  obs_ = owned_obs_.get();
+}
+
+Simulator::~Simulator() {
+  // Only the env-created bundle is serviced here: an attached one belongs
+  // to whoever attached it (and may already be gone — obs_ is not touched).
+  if (owned_obs_ != nullptr) {
+    if (owned_obs_->profiler.enabled() && owned_obs_->profiler.total_events())
+      std::fputs(owned_obs_->profiler.report("run").c_str(), stderr);
+    obs::export_on_destruction(*owned_obs_);
+  }
+}
+
+void Simulator::attach_obs(obs::SimObs* obs) {
+  obs_ = obs != nullptr ? obs : owned_obs_.get();
+}
+
+void Simulator::dispatch_observed(EventQueue::Fired& fired) {
+  obs::SimObs& o = *obs_;
+  // Pushed directly (not via point()): the dispatch record must not claim
+  // the profiler's attribution slot — that belongs to the first trace
+  // point INSIDE the callback.
+  if (o.trace.wants(obs::kCatSim))
+    o.trace.push(obs::TraceRecord{now_.ns(), obs::kCatSim, obs::ev::kDispatch,
+                                  0, events_executed_, 0});
+  if (!o.profiler.enabled()) {
+    fired.callback();
+    return;
+  }
+  o.profiler.begin_event();
+  const auto t0 = std::chrono::steady_clock::now();
+  fired.callback();
+  const auto t1 = std::chrono::steady_clock::now();
+  o.profiler.end_event(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
 
 EventId Simulator::schedule_at(Time t, EventQueue::Callback cb) {
   assert(t >= now_ && "scheduling into the past");
@@ -44,7 +87,7 @@ std::uint64_t Simulator::run_until(Time limit) {
   EventQueue::Fired fired;
   while (!stop_requested_ && queue_.pop_until(limit, fired)) {
     now_ = fired.time;
-    fired.callback();
+    invoke(fired);
     ++ran;
     ++events_executed_;
   }
@@ -58,7 +101,7 @@ std::uint64_t Simulator::run_all() {
   EventQueue::Fired fired;
   while (!stop_requested_ && queue_.pop_until(Time::max(), fired)) {
     now_ = fired.time;
-    fired.callback();
+    invoke(fired);
     ++ran;
     ++events_executed_;
   }
@@ -69,7 +112,7 @@ bool Simulator::step() {
   EventQueue::Fired fired;
   if (!queue_.pop_until(Time::max(), fired)) return false;
   now_ = fired.time;
-  fired.callback();
+  invoke(fired);
   ++events_executed_;
   return true;
 }

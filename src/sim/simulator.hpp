@@ -7,15 +7,21 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+
+namespace wlan::obs {
+struct SimObs;
+}
 
 namespace wlan::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -63,11 +69,36 @@ class Simulator {
 
   bool idle() const { return queue_.empty(); }
 
+  /// The attached observability bundle, or null (the overwhelmingly common
+  /// case — trace points cost one load+branch). Owned when WLAN_TRACE /
+  /// WLAN_PROFILE created it at construction; see attach_obs.
+  obs::SimObs* obs() const { return obs_; }
+
+  /// Attaches an external bundle (tests/exp-runner capture; NOT owned,
+  /// must outlive the last event dispatched). Passing null restores the
+  /// env-created bundle, if any.
+  void attach_obs(obs::SimObs* obs);
+
  private:
+  /// Dispatches one fired event through the observer: emits the kCatSim
+  /// dispatch record and brackets the callback for phase attribution.
+  void dispatch_observed(EventQueue::Fired& fired);
+
+  /// The dispatch loops' single indirection point.
+  void invoke(EventQueue::Fired& fired) {
+    if (obs_ != nullptr) {
+      dispatch_observed(fired);
+      return;
+    }
+    fired.callback();
+  }
+
   EventQueue queue_;
   Time now_ = Time::zero();
   bool stop_requested_ = false;
   std::uint64_t events_executed_ = 0;
+  obs::SimObs* obs_ = nullptr;                // what trace points consult
+  std::unique_ptr<obs::SimObs> owned_obs_;    // env-created bundle
 };
 
 }  // namespace wlan::sim

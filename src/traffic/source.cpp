@@ -3,12 +3,16 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace wlan::traffic {
 
 TrafficSource::TrafficSource(sim::Simulator& simulator,
                              const TrafficConfig& config,
-                             std::int64_t payload_bits, util::Rng rng)
+                             std::int64_t payload_bits, util::Rng rng,
+                             std::uint32_t node)
     : sim_(simulator),
+      node_(node),
       process_(make_arrival_process(config, payload_bits)),
       queue_(config.queue_capacity),
       rng_(rng) {}
@@ -29,6 +33,11 @@ void TrafficSource::schedule_next_arrival() {
 void TrafficSource::on_arrival() {
   const bool was_empty = queue_.empty();
   const bool accepted = queue_.push(sim_.now());
+  WLAN_OBS_POINT(sim_, obs::kCatTraffic, obs::ev::kArrival, node_,
+                 queue_.size(), accepted);
+  if (!accepted)
+    WLAN_OBS_POINT(sim_, obs::kCatTraffic, obs::ev::kDrop, node_,
+                   queue_.drops(), 0);
   schedule_next_arrival();
   if (accepted && was_empty && wake_cb_) wake_cb_();
 }

@@ -32,8 +32,11 @@ namespace wlan::traffic {
 class TrafficSource {
  public:
   /// Builds the generator described by `config` (must not be saturated).
+  /// `node` is only a trace label (the owning station's Medium NodeId);
+  /// it never influences a decision.
   TrafficSource(sim::Simulator& simulator, const TrafficConfig& config,
-                std::int64_t payload_bits, util::Rng rng);
+                std::int64_t payload_bits, util::Rng rng,
+                std::uint32_t node = 0);
 
   TrafficSource(const TrafficSource&) = delete;
   TrafficSource& operator=(const TrafficSource&) = delete;
@@ -70,6 +73,7 @@ class TrafficSource {
   void on_arrival();
 
   sim::Simulator& sim_;
+  std::uint32_t node_;  // trace label only
   std::unique_ptr<ArrivalProcess> process_;
   PacketQueue queue_;
   stats::DelayHistogram delays_;

@@ -15,6 +15,8 @@
 #include "mac/contention_arbiter.hpp"
 #include "mac/network.hpp"
 #include "mac/station.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_diff.hpp"
 #include "util/fnv.hpp"
 
 namespace {
@@ -71,6 +73,36 @@ exp::RunOptions series_options(double measure_s = 0.4) {
   return opts;
 }
 
+/// On a hash mismatch, re-runs the two event paths with tracing and reports
+/// the FIRST diverging event. The mask keeps only kCatMedium + kCatStation:
+/// cohort bookkeeping records (kCatCohort) exist on one path only and the
+/// per-slot paths wake at different instants, so only records tied to
+/// simulated physics (transmissions, deliveries, MAC state transitions) are
+/// comparable across paths.
+void report_first_divergence(const ScenarioConfig& scenario,
+                             const SchemeConfig& scheme,
+                             const exp::RunOptions& opts, int cohort_a,
+                             int batching_a, int cohort_b, int batching_b,
+                             const char* what) {
+  constexpr unsigned kMask =
+      obs::category_bit(obs::kCatMedium) | obs::category_bit(obs::kCatStation);
+  obs::TraceCapture cap_a, cap_b;
+  cap_a.mask = cap_b.mask = kMask;
+  exp::RunOptions traced = opts;
+  {
+    PathGuard guard(cohort_a, batching_a);
+    traced.trace = &cap_a;
+    exp::run_scenario(scenario, scheme, traced);
+  }
+  {
+    PathGuard guard(cohort_b, batching_b);
+    traced.trace = &cap_b;
+    exp::run_scenario(scenario, scheme, traced);
+  }
+  ADD_FAILURE() << "first trace divergence (" << what << "):\n"
+                << obs::divergence_report(cap_a.records, cap_b.records);
+}
+
 /// Runs the scenario under all three event paths — cohort, per-station
 /// batched, per-station per-slot — and asserts bit-identical series
 /// hashes plus exact equality of the headline scalars.
@@ -94,6 +126,12 @@ void expect_paths_identical(const ScenarioConfig& scenario,
       << scheme.name() << ": cohort vs per-station batched";
   EXPECT_EQ(hash_run(cohort), hash_run(per_slot))
       << scheme.name() << ": cohort vs per-station per-slot";
+  if (hash_run(cohort) != hash_run(batched))
+    report_first_divergence(scenario, scheme, opts, 1, 1, 0, 1,
+                            "cohort=a, per-station batched=b");
+  if (hash_run(cohort) != hash_run(per_slot))
+    report_first_divergence(scenario, scheme, opts, 1, 1, 0, 0,
+                            "cohort=a, per-station per-slot=b");
   EXPECT_EQ(cohort.total_mbps, batched.total_mbps);
   EXPECT_EQ(cohort.total_mbps, per_slot.total_mbps);
   EXPECT_EQ(cohort.successes, per_slot.successes);

@@ -14,6 +14,8 @@
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "mac/network.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_diff.hpp"
 #include "phy/medium.hpp"
 #include "topology/cell_plan.hpp"
 #include "topology/placement.hpp"
@@ -72,6 +74,35 @@ exp::RunOptions series_options(double measure_s = 0.4) {
   return opts;
 }
 
+/// On a hash mismatch, re-runs both marking paths with event tracing and
+/// reports the FIRST event where the two simulations diverge — turning "two
+/// 64-bit hashes differ" into "t=1.234s medium tx_start node=7 ...". The
+/// trace mask deliberately excludes kCatMark: the incremental path
+/// legitimately skips marks no decodable receiver can observe, so mark
+/// records differ between paths even when the physics agree.
+void report_first_divergence(const ScenarioConfig& scenario,
+                             const SchemeConfig& scheme,
+                             const exp::RunOptions& opts) {
+  constexpr unsigned kMask =
+      obs::category_bit(obs::kCatMedium) | obs::category_bit(obs::kCatStation);
+  obs::TraceCapture incr_cap, legacy_cap;
+  incr_cap.mask = legacy_cap.mask = kMask;
+  exp::RunOptions traced = opts;
+  {
+    MediumPathGuard guard(1);
+    traced.trace = &incr_cap;
+    exp::run_scenario(scenario, scheme, traced);
+  }
+  {
+    MediumPathGuard guard(0);
+    traced.trace = &legacy_cap;
+    exp::run_scenario(scenario, scheme, traced);
+  }
+  ADD_FAILURE() << "first trace divergence (incremental=a, legacy=b):\n"
+                << obs::divergence_report(incr_cap.records,
+                                          legacy_cap.records);
+}
+
 /// Runs the scenario under both marking paths and asserts bit-identical
 /// series hashes plus exact equality of the headline scalars.
 void expect_paths_identical(const ScenarioConfig& scenario,
@@ -88,6 +119,8 @@ void expect_paths_identical(const ScenarioConfig& scenario,
   }
   EXPECT_EQ(hash_run(incremental), hash_run(legacy))
       << scheme.name() << ": incremental vs legacy marking";
+  if (hash_run(incremental) != hash_run(legacy))
+    report_first_divergence(scenario, scheme, opts);
   EXPECT_EQ(incremental.total_mbps, legacy.total_mbps);
   EXPECT_EQ(incremental.successes, legacy.successes);
   EXPECT_EQ(incremental.failures, legacy.failures);
