@@ -19,14 +19,19 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/shutdown.hpp"
 #include "util/table.hpp"
 
 namespace wlan::bench {
 
-/// Standard driver startup: parse flags (currently just `--threads N`) and
-/// size the global pool before the first sweep builds it.
+/// Standard driver startup: parse flags (currently just `--threads N`),
+/// size the global pool before the first sweep builds it, and install the
+/// SIGINT/SIGTERM handlers that flush partial CSVs on interruption (the
+/// sweep journal itself needs no flushing — every entry is an atomic
+/// rename the moment its job completes).
 inline util::Cli init(int argc, const char* const* argv) {
   util::Cli cli(argc, argv);
+  util::install_shutdown_handlers();
   par::ThreadPool::configure_global(cli.threads(0));
   return cli;
 }

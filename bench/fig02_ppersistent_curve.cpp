@@ -48,6 +48,9 @@ int main(int argc, char** argv) {
   spec.options = sim_opts;
   spec.keep_runs = false;
   const auto sweep = exp::run_sweep(spec);
+  // A science run with failed jobs must fail the driver (run_all.sh then
+  // retries it once), never publish zero-folded rows.
+  sweep.throw_if_failed();
 
   std::vector<double> curve20, curve40;
   std::size_t sim_idx = 0;

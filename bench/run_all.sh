@@ -25,6 +25,22 @@
 #   WLAN_RUN_CACHE_KEEP keep the default cache across invocations of this
 #                       script (default: wiped at startup, so results can
 #                       never come from a previous build's binaries)
+#   WLAN_BENCH_RESUME   truthy => skip drivers whose results/<driver>/
+#                       already holds a completed run (non-empty CSV/JSON
+#                       output plus the .wall_seconds completion marker and
+#                       no .failed marker); interrupted or failed drivers
+#                       re-run. Pair with WLAN_RUN_CACHE_KEEP=1 (and
+#                       optionally WLAN_SWEEP_JOURNAL) to make a killed
+#                       invocation cheap to finish.
+#   WLAN_SWEEP_JOURNAL  sweep-journal directory (src/exp/sweep_journal.hpp):
+#                       a driver killed mid-sweep resumes point-by-point on
+#                       the next run, byte-identically. Opt-in, with the
+#                       same staleness-across-rebuilds caveat as
+#                       WLAN_RUN_CACHE.
+#
+# Robustness: each driver that fails is retried once (transient failures —
+# OOM kills, flaky filesystems — should not cost the whole invocation);
+# only a second failure writes the .failed marker that fails the script.
 set -euo pipefail
 
 build_dir="$(cd "${1:-build}" && pwd)"
@@ -72,30 +88,59 @@ if /usr/bin/time -v true >/dev/null 2>&1; then
   gnu_time="/usr/bin/time"
 fi
 
-# One driver: run it inside its own results/<driver>/ directory so the CSV
-# it writes to the CWD lands there, tee the console output to driver.log,
-# and leave a .failed marker for the final tally.
-run_one() {
-  local bin="$1" name out t0 t1
-  name="$(basename "${bin}")"
-  out="${results_dir}/${name#bench_}"
-  mkdir -p "${out}"
-  rm -f "${out}/.failed" "${out}/.wall_seconds" "${out}/.max_rss_kb"
+# A driver's previous run counts as complete only when it produced a
+# non-empty CSV/JSON AND wrote .wall_seconds (the last thing run_one does,
+# so a killed run never has it) AND did not fail. A partial CSV flushed by
+# the shutdown handler therefore never masquerades as a finished run.
+has_complete_run() {
+  local out="$1" f
+  [[ -e "${out}/.wall_seconds" && ! -e "${out}/.failed" ]] || return 1
+  for f in "${out}"/*.csv "${out}"/*.json; do
+    [[ -s ${f} ]] && return 0
+  done
+  return 1
+}
+
+# One attempt of one driver binary, from inside its results dir; appends
+# console output to driver.log.
+launch_one() {
+  local bin="$1" name="$2" out="$3"
   local -a timer=()
   if [[ -n ${gnu_time} ]]; then
     timer=("${gnu_time}" -v -o "${out}/.time_v")
   fi
-  t0="$(date +%s.%N)"
   if [[ ${name} == bench_micro_substrate ]]; then
     # google-benchmark driver: emits JSON instead of a CSV.
     (cd "${out}" && "${timer[@]}" "${bin}" \
                     --benchmark_out="${out}/micro_substrate.json" \
-                    --benchmark_out_format=json) \
-        > "${out}/driver.log" 2>&1 || touch "${out}/.failed"
+                    --benchmark_out_format=json) >> "${out}/driver.log" 2>&1
   else
-    (cd "${out}" && "${timer[@]}" "${bin}") > "${out}/driver.log" 2>&1 \
-        || touch "${out}/.failed"
+    (cd "${out}" && "${timer[@]}" "${bin}") >> "${out}/driver.log" 2>&1
   fi
+}
+
+# One driver: run it inside its own results/<driver>/ directory so the CSV
+# it writes to the CWD lands there, tee the console output to driver.log,
+# retry once on failure, and leave a .failed marker for the final tally.
+run_one() {
+  local bin="$1" name out t0 t1 attempt ok=0
+  name="$(basename "${bin}")"
+  out="${results_dir}/${name#bench_}"
+  mkdir -p "${out}"
+  rm -f "${out}/.failed" "${out}/.wall_seconds" "${out}/.max_rss_kb"
+  : > "${out}/driver.log"
+  t0="$(date +%s.%N)"
+  for attempt in 1 2; do
+    if launch_one "${bin}" "${name}" "${out}"; then
+      ok=1
+      break
+    fi
+    if [[ ${attempt} -eq 1 ]]; then
+      echo "[run_all] ${name}: attempt 1 failed; retrying once" \
+          | tee -a "${out}/driver.log"
+    fi
+  done
+  [[ ${ok} -eq 1 ]] || touch "${out}/.failed"
   t1="$(date +%s.%N)"
   # Per-driver wall clock, assembled into results/summary.csv at the end.
   awk -v a="${t0}" -v b="${t1}" 'BEGIN { printf "%.2f\n", b - a }' \
@@ -112,20 +157,32 @@ run_one() {
   fi
 }
 
+resume="${WLAN_BENCH_RESUME:-}"
+[[ ${resume} == 0 ]] && resume=""
+
 # Drop failure/timing markers from previous invocations (a driver that no
-# longer runs must not appear in this run's tally or summary.csv).
-rm -f "${results_dir}"/*/.failed "${results_dir}"/*/.wall_seconds \
-      "${results_dir}"/*/.max_rss_kb
+# longer runs must not appear in this run's tally or summary.csv). In
+# resume mode the markers ARE the completion record — skipped drivers keep
+# theirs (and their summary row); drivers that re-run reset their own.
+if [[ -z ${resume} ]]; then
+  rm -f "${results_dir}"/*/.failed "${results_dir}"/*/.wall_seconds \
+        "${results_dir}"/*/.max_rss_kb
+fi
 
 echo "Running ${#benches[@]} drivers, ${jobs} at a time ..."
 for bin in "${benches[@]}"; do
   [[ -x ${bin} && ! -d ${bin} ]] || continue
+  name="$(basename "${bin}")"
+  if [[ -n ${resume} ]] && has_complete_run "${results_dir}/${name#bench_}"; then
+    echo "==> ${name} (already complete, skipped by WLAN_BENCH_RESUME)"
+    continue
+  fi
   while (( $(jobs -rp | wc -l) >= jobs )); do
     # `wait -n` needs bash >= 4.3; elsewhere fall back to a short sleep.
     # Failures are tallied via .failed markers, not exit statuses.
     wait -n 2>/dev/null || sleep 0.2
   done
-  echo "==> $(basename "${bin}")"
+  echo "==> ${name}"
   run_one "${bin}" &
 done
 wait || true

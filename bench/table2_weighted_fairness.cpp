@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   opts.measure = sim::Duration::seconds(25.0 * s);
 
   const auto sweep = exp::run_sweep(exp::SweepSpec::single(scenario, scheme, opts));
+  sweep.throw_if_failed();
   const exp::RunResult& result = sweep.at(0).runs[0];
   const auto norm =
       stats::normalized_throughput(result.per_station_mbps, scheme.weights);

@@ -24,6 +24,7 @@ std::atomic<std::uint64_t> g_hits{0};
 std::atomic<std::uint64_t> g_misses{0};
 std::atomic<std::uint64_t> g_stores{0};
 std::atomic<std::uint64_t> g_store_failures{0};
+std::atomic<std::uint64_t> g_quarantined{0};
 
 // ------------------------------------------------------------- key hashing
 
@@ -136,13 +137,14 @@ void hash_scheme(KeyHasher& h, const SchemeConfig& s) {
 
 constexpr std::uint32_t kMagic = 0x57524C43;  // "WRLC"
 
+/// Little-endian serializer into a memory buffer: the whole entry is
+/// assembled (and checksummed) before a single fwrite, so the on-disk
+/// bytes are either absent or complete-and-verifiable.
 struct Writer {
-  std::FILE* f;
-  bool ok = true;
+  std::vector<unsigned char>& buf;
   void u64(std::uint64_t v) {
-    unsigned char b[8];
-    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
-    if (std::fwrite(b, 1, 8, f) != 8) ok = false;
+    for (int i = 0; i < 8; ++i)
+      buf.push_back(static_cast<unsigned char>(v >> (8 * i)));
   }
   void f64(double d) {
     std::uint64_t bits;
@@ -152,16 +154,20 @@ struct Writer {
 };
 
 struct Reader {
-  std::FILE* f;
+  const std::vector<unsigned char>& buf;
+  std::size_t pos = 0;
   bool ok = true;
   std::uint64_t u64() {
-    unsigned char b[8];
-    if (std::fread(b, 1, 8, f) != 8) {
+    if (buf.size() - pos < 8) {
       ok = false;
+      pos = buf.size();
       return 0;
     }
     std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(buf[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos += 8;
     return v;
   }
   double f64() {
@@ -171,6 +177,13 @@ struct Reader {
     return d;
   }
 };
+
+std::uint64_t checksum_of(const std::vector<unsigned char>& buf,
+                          std::size_t len) {
+  util::Fnv1a h;
+  for (std::size_t i = 0; i < len; ++i) h.mix_byte(buf[i]);
+  return h.digest();
+}
 
 void write_result(Writer& w, std::uint64_t key, const RunResult& r) {
   w.u64((static_cast<std::uint64_t>(kFormatVersion) << 32) | kMagic);
@@ -209,7 +222,8 @@ void write_result(Writer& w, std::uint64_t key, const RunResult& r) {
   }
 }
 
-bool read_result(Reader& rd, std::uint64_t key, RunResult& out) {
+bool read_result(Reader& rd, std::uint64_t key, RunResult& out,
+                 std::size_t payload_end) {
   if (rd.u64() != ((static_cast<std::uint64_t>(kFormatVersion) << 32) |
                    kMagic))
     return false;
@@ -247,8 +261,8 @@ bool read_result(Reader& rd, std::uint64_t key, RunResult& out) {
     if (!rd.ok || b >= buckets.size()) return false;
     buckets[b] = c;
   }
-  // Trailing byte => foreign/corrupt file.
-  if (!rd.ok || std::fgetc(rd.f) != EOF) return false;
+  // Trailing payload bytes => foreign/corrupt file.
+  if (!rd.ok || rd.pos != payload_end) return false;
   r.delays.restore_raw(std::move(buckets), count, sum_ns, min_ns, max_ns);
   out = std::move(r);
   return true;
@@ -280,28 +294,51 @@ std::uint64_t key_hash(const ScenarioConfig& scenario,
   return h.digest();
 }
 
-bool lookup(const std::string& dir, std::uint64_t key, RunResult& out) {
-  std::FILE* f = std::fopen(entry_path(dir, key).c_str(), "rb");
-  if (f == nullptr) {
-    g_misses.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  }
-  Reader rd{f};
-  const bool ok = read_result(rd, key, out);
-  std::fclose(f);
-  (ok ? g_hits : g_misses).fetch_add(1, std::memory_order_relaxed);
-  return ok;
+std::vector<unsigned char> serialize_entry(std::uint64_t key,
+                                           const RunResult& result) {
+  std::vector<unsigned char> buf;
+  Writer w{buf};
+  write_result(w, key, result);
+  // Content checksum footer: FNV-1a over every payload byte. A torn write
+  // that survives a crash (or bit rot) cannot both truncate/flip bytes and
+  // keep the footer consistent.
+  w.u64(checksum_of(buf, buf.size()));
+  return buf;
 }
 
-bool store(const std::string& dir, std::uint64_t key,
-           const RunResult& result) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
+EntryStatus deserialize_entry(const std::vector<unsigned char>& buf,
+                              std::uint64_t key, RunResult& out) {
+  if (buf.size() < 8) return EntryStatus::kCorrupt;
+  const std::size_t payload_end = buf.size() - 8;
+  Reader footer{buf, payload_end};
+  if (footer.u64() != checksum_of(buf, payload_end))
+    return EntryStatus::kCorrupt;
+  Reader rd{buf};
+  if (!read_result(rd, key, out, payload_end)) return EntryStatus::kCorrupt;
+  return EntryStatus::kOk;
+}
+
+EntryStatus read_entry_file(const std::string& path, std::uint64_t key,
+                            RunResult& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return EntryStatus::kMissing;
+  std::vector<unsigned char> buf;
+  unsigned char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+    buf.insert(buf.end(), chunk, chunk + n);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) return EntryStatus::kCorrupt;
+  return deserialize_entry(buf, key, out);
+}
+
+bool write_entry_file(const std::string& path, std::uint64_t key,
+                      const RunResult& result) {
   // Unique temp name per process + store call, renamed into place so
   // concurrent drivers (and lanes within one) never observe a partial
   // file (rename within one directory is atomic on POSIX).
   static std::atomic<std::uint64_t> store_counter{0};
-  const auto final_path = entry_path(dir, key);
 #ifdef _WIN32
   const unsigned long long pid = static_cast<unsigned long long>(::_getpid());
 #else
@@ -311,29 +348,67 @@ bool store(const std::string& dir, std::uint64_t key,
   std::snprintf(suffix, sizeof suffix, ".%llx.%llx.tmp", pid,
                 static_cast<unsigned long long>(
                     store_counter.fetch_add(1, std::memory_order_relaxed)));
-  auto tmp_path = final_path;
-  tmp_path += suffix;
+  const std::string tmp_path = path + suffix;
   std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
-  if (f == nullptr) {
-    g_store_failures.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  }
-  Writer w{f};
-  write_result(w, key, result);
-  const bool flushed = std::fclose(f) == 0 && w.ok;
+  if (f == nullptr) return false;
+  const std::vector<unsigned char> buf = serialize_entry(key, result);
+  const bool wrote = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  const bool flushed = std::fclose(f) == 0 && wrote;
+  std::error_code ec;
   if (!flushed) {
     std::filesystem::remove(tmp_path, ec);
-    g_store_failures.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  std::filesystem::rename(tmp_path, final_path, ec);
+  std::filesystem::rename(tmp_path, path, ec);
   if (ec) {
     std::filesystem::remove(tmp_path, ec);
-    g_store_failures.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  g_stores.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+std::string quarantine_entry(const std::string& path) {
+#ifdef _WIN32
+  const unsigned long long pid = static_cast<unsigned long long>(::_getpid());
+#else
+  const unsigned long long pid = static_cast<unsigned long long>(::getpid());
+#endif
+  char suffix[48];
+  std::snprintf(suffix, sizeof suffix, ".quarantined.%llx", pid);
+  const std::string aside = path + suffix;
+  std::error_code ec;
+  std::filesystem::rename(path, aside, ec);
+  if (!ec) return aside;
+  // Rename failed (e.g. cross-device or permissions): removing is the
+  // fallback that still prevents the corrupt entry from being re-read.
+  std::filesystem::remove(path, ec);
+  return std::string();
+}
+
+bool lookup(const std::string& dir, std::uint64_t key, RunResult& out) {
+  const std::string path = entry_path(dir, key).string();
+  switch (read_entry_file(path, key, out)) {
+    case EntryStatus::kOk:
+      g_hits.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    case EntryStatus::kCorrupt:
+      quarantine_entry(path);
+      g_quarantined.fetch_add(1, std::memory_order_relaxed);
+      [[fallthrough]];
+    case EntryStatus::kMissing:
+      break;
+  }
+  g_misses.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool store(const std::string& dir, std::uint64_t key,
+           const RunResult& result) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const bool ok = write_entry_file(entry_path(dir, key).string(), key, result);
+  (ok ? g_stores : g_store_failures).fetch_add(1, std::memory_order_relaxed);
+  return ok;
 }
 
 Stats stats() {
@@ -342,6 +417,7 @@ Stats stats() {
   s.misses = g_misses.load(std::memory_order_relaxed);
   s.stores = g_stores.load(std::memory_order_relaxed);
   s.store_failures = g_store_failures.load(std::memory_order_relaxed);
+  s.quarantined = g_quarantined.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -350,6 +426,7 @@ void reset_stats() {
   g_misses = 0;
   g_stores = 0;
   g_store_failures = 0;
+  g_quarantined = 0;
 }
 
 }  // namespace wlan::exp::run_cache

@@ -28,7 +28,15 @@
 // Storage: one little-endian binary file per key, written to a temp name
 // and atomically renamed — concurrent drivers (run_all.sh runs many) may
 // race on the same point and both compute it, but readers only ever see
-// complete files. Any malformed/truncated/mis-keyed file reads as a miss.
+// complete files. Every entry ends in an FNV-1a checksum over the payload
+// bytes; a file that exists but fails the checksum (bit rot, a torn write
+// surviving a crash, a foreign format) is QUARANTINED — renamed aside with
+// a .quarantined suffix so it can be inspected but never read again — and
+// the point is recomputed. Plain malformed/mis-keyed files read as misses.
+//
+// The same entry format (serialize_entry/deserialize_entry + the atomic
+// write_entry_file/read_entry_file pair) backs exp::sweep_journal, so the
+// crash-safety properties are shared.
 //
 // MAINTENANCE: key_hash() enumerates every config field by hand. When a
 // field is added to ScenarioConfig / SchemeConfig / WifiParams /
@@ -38,6 +46,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "exp/runner.hpp"
 
@@ -45,7 +54,8 @@ namespace wlan::exp::run_cache {
 
 /// Bumped whenever the serialized RunResult layout or the key schema
 /// changes; readers reject other versions as misses.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: FNV-1a content-checksum footer appended to every entry.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// The cache directory from $WLAN_RUN_CACHE; empty = disabled. Re-read on
 /// every call so tests (and long-lived tools) can retarget it.
@@ -57,7 +67,8 @@ std::uint64_t key_hash(const ScenarioConfig& scenario,
                        const SchemeConfig& scheme, const RunOptions& options);
 
 /// Reads the cached result for `key` from `dir`. False (and `out`
-/// untouched) when absent or unreadable.
+/// untouched) when absent or unreadable; a checksum-failing entry is
+/// quarantined (renamed aside) before reporting the miss.
 bool lookup(const std::string& dir, std::uint64_t key, RunResult& out);
 
 /// Writes `result` for `key` under `dir` (created on demand), atomically.
@@ -66,12 +77,48 @@ bool lookup(const std::string& dir, std::uint64_t key, RunResult& out);
 bool store(const std::string& dir, std::uint64_t key,
            const RunResult& result);
 
+// --- Entry format, shared with exp::sweep_journal -------------------------
+
+/// Serializes (key, result) into the versioned entry byte stream:
+/// magic+version header, key, scalar fields, sparse delay histogram, and a
+/// trailing FNV-1a checksum over everything before it.
+std::vector<unsigned char> serialize_entry(std::uint64_t key,
+                                           const RunResult& result);
+
+/// Parse outcomes for an on-disk entry.
+enum class EntryStatus {
+  kOk,       // parsed, checksum verified, key matched
+  kMissing,  // no file at the path
+  kCorrupt,  // file exists but fails checksum/structure/key validation
+};
+
+/// Parses a serialize_entry buffer; kOk only when the checksum verifies,
+/// the header/version/key match, and the payload parses completely.
+EntryStatus deserialize_entry(const std::vector<unsigned char>& buf,
+                              std::uint64_t key, RunResult& out);
+
+/// Reads and validates the entry file at `path` against `key`.
+EntryStatus read_entry_file(const std::string& path, std::uint64_t key,
+                            RunResult& out);
+
+/// Atomically writes an entry file (unique temp name + rename, so readers
+/// and a crash mid-write only ever observe complete entries or nothing).
+bool write_entry_file(const std::string& path, std::uint64_t key,
+                      const RunResult& result);
+
+/// Renames a corrupt entry aside to `<path>.quarantined.<pid>` so it is
+/// preserved for inspection but never re-read. Returns the quarantine path
+/// (empty when the rename failed and the file was removed instead).
+std::string quarantine_entry(const std::string& path);
+
 /// Process-wide counters (exposed for tests and driver summaries).
 struct Stats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
   std::uint64_t store_failures = 0;
+  /// Checksum-failing cache entries renamed aside and recomputed.
+  std::uint64_t quarantined = 0;
 };
 Stats stats();
 void reset_stats();

@@ -161,6 +161,7 @@ void collect_measurement(mac::Network& net, RunResult& result) {
 
   result.metrics = obs::collect_metrics(net);
   obs::add_run_cache_metrics(result.metrics);
+  obs::add_fault_metrics(result.metrics);
   if (const obs::SimObs* o = net.simulator().obs();
       o != nullptr && o->profiler.enabled())
     obs::add_profile_metrics(result.metrics, o->profiler);
@@ -206,6 +207,8 @@ RunResult run_scenario(const ScenarioConfig& scenario,
   // Declared before `net` so the attached bundle outlives the simulator.
   std::unique_ptr<obs::SimObs> capture_obs;
   auto net = build_network(scenario, scheme);
+  if (options.max_events != 0 || options.max_wall_ms > 0)
+    net->simulator().set_watchdog(options.max_events, options.max_wall_ms);
   capture_obs = attach_capture(*net, options.trace);
   if (options.record_series) {
     install_sampler(*net, scheme, options.sample_period, result);
@@ -243,7 +246,11 @@ AveragedResult run_averaged(const ScenarioConfig& scenario,
   // historical serial arithmetic bit-for-bit.
   SweepSpec spec = SweepSpec::single(scenario, scheme, options, seeds);
   spec.keep_runs = false;
-  return run_sweep(spec).points[0].averaged;
+  SweepResult result = run_sweep(spec);
+  // Preserve the historical contract: run_averaged callers expect a
+  // failing run to throw, not to fold zeros silently.
+  result.throw_if_failed();
+  return result.points[0].averaged;
 }
 
 RunResult run_dynamic(const ScenarioConfig& scenario,

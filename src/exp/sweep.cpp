@@ -1,13 +1,20 @@
 #include "exp/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
+#include "exp/run_cache.hpp"
+#include "exp/sweep_journal.hpp"
 #include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
+#include "sim/simulator.hpp"
+#include "util/env.hpp"
 
 namespace wlan::exp {
 
@@ -121,12 +128,14 @@ AveragedResult fold_seeds(const std::vector<RunResult>& runs) {
 
 /// With WLAN_PROFILE on, reports each pool lane's aggregate phase profile
 /// (the per-run registries carry profile.* buckets; shard = the contiguous
-/// job block the lane executed). Pure reporting — reads finished results.
+/// block of PENDING jobs the lane executed — journal-replayed jobs carry
+/// no profile and never reached a lane). Pure reporting.
 void report_shard_profiles(const par::ThreadPool& pool,
-                           const std::vector<RunResult>& raw) {
+                           const std::vector<RunResult>& raw,
+                           const std::vector<std::size_t>& pending) {
   if (!obs::SimObs::profile_enabled_by_env()) return;
   for (int lane = 0; lane < pool.thread_count(); ++lane) {
-    const auto [first, last] = pool.block_of(lane, raw.size());
+    const auto [first, last] = pool.block_of(lane, pending.size());
     if (first >= last) continue;
     obs::PhaseProfiler shard;
     for (std::size_t i = first; i < last; ++i) {
@@ -134,20 +143,116 @@ void report_shard_profiles(const par::ThreadPool& pool,
         const auto cat = static_cast<obs::Category>(c);
         const std::string base =
             std::string("profile.") + obs::category_name(cat);
-        shard.add_bucket(
-            cat,
-            static_cast<std::uint64_t>(raw[i].metrics.get(base + ".events")),
-            static_cast<std::int64_t>(raw[i].metrics.get(base + ".wall_ns")));
+        shard.add_bucket(cat,
+                         static_cast<std::uint64_t>(
+                             raw[pending[i]].metrics.get(base + ".events")),
+                         static_cast<std::int64_t>(
+                             raw[pending[i]].metrics.get(base + ".wall_ns")));
       }
     }
     const std::string label = "sweep shard " + std::to_string(lane) +
-                              " (runs " + std::to_string(first) + ".." +
-                              std::to_string(last - 1) + ")";
+                              " (jobs " + std::to_string(pending[first]) +
+                              ".." + std::to_string(pending[last - 1]) + ")";
     std::fputs(shard.report(label).c_str(), stderr);
   }
 }
 
+/// Retry policy resolved from the spec with env fallbacks.
+struct GuardPolicy {
+  int retries = 2;
+  int backoff_ms = 100;
+};
+
+GuardPolicy resolve_policy(const SweepSpec& spec) {
+  GuardPolicy p;
+  p.retries = spec.job_retries >= 0
+                  ? spec.job_retries
+                  : static_cast<int>(std::max<std::int64_t>(
+                        0, util::env_int("WLAN_JOB_RETRIES", 2)));
+  p.backoff_ms = spec.job_backoff_ms >= 0
+                     ? spec.job_backoff_ms
+                     : static_cast<int>(std::max<std::int64_t>(
+                           0, util::env_int("WLAN_JOB_BACKOFF_MS", 100)));
+  return p;
+}
+
+/// Runs one job under the guard: fault injection, retry with exponential
+/// backoff, watchdog-timeout classification. On terminal failure fills
+/// `error` and leaves `out` default (deterministic zeros for the fold).
+void run_guarded(const SweepJob& job, std::size_t job_index,
+                 std::uint64_t config_fingerprint, const RunOptions& options,
+                 const GuardPolicy& policy, RunResult& out,
+                 std::optional<JobError>& error) {
+  JobError last;
+  last.job_index = job_index;
+  last.point_index = job.point_index;
+  last.seed_index = job.seed_index;
+  last.config_fingerprint = config_fingerprint;
+  for (int attempt = 1;; ++attempt) {
+    RunOptions opts = options;
+    try {
+      fault_injection::apply_before_attempt(job_index, opts);
+      out = run_scenario(job.scenario, job.scheme, opts);
+      return;
+    } catch (const sim::WatchdogExpired& e) {
+      last.kind = JobError::Kind::kTimeout;
+      last.what = e.what();
+      fault_counters::add_timeout();
+    } catch (const std::exception& e) {
+      last.kind = JobError::Kind::kException;
+      last.what = e.what();
+      fault_counters::add_exception();
+    } catch (...) {
+      last.kind = JobError::Kind::kException;
+      last.what = "unknown exception";
+      fault_counters::add_exception();
+    }
+    last.attempts = attempt;
+    if (attempt > policy.retries) {
+      fault_counters::add_failure();
+      out = RunResult{};
+      error = std::move(last);
+      return;
+    }
+    fault_counters::add_retry();
+    if (policy.backoff_ms > 0) {
+      // Exponential backoff: base, 2*base, 4*base, ... capped at 30 s.
+      const std::int64_t delay =
+          std::min<std::int64_t>(static_cast<std::int64_t>(policy.backoff_ms)
+                                     << std::min(attempt - 1, 20),
+                                 30'000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+}
+
+void report_errors(const std::vector<JobError>& errors) {
+  for (const JobError& e : errors) {
+    std::fprintf(
+        stderr,
+        "[sweep] job %zu (point %zu, seed %d, config %016llx) failed after "
+        "%d attempt%s [%s]: %s\n",
+        e.job_index, e.point_index, e.seed_index,
+        static_cast<unsigned long long>(e.config_fingerprint), e.attempts,
+        e.attempts == 1 ? "" : "s",
+        e.kind == JobError::Kind::kTimeout ? "timeout" : "exception",
+        e.what.c_str());
+  }
+}
+
 }  // namespace
+
+void SweepResult::throw_if_failed() const {
+  if (errors.empty()) return;
+  std::string msg = "sweep failed: " + std::to_string(errors.size()) +
+                    " job(s) exhausted their retries; first: job " +
+                    std::to_string(errors.front().job_index) + " (" +
+                    (errors.front().kind == JobError::Kind::kTimeout
+                         ? "timeout"
+                         : "exception") +
+                    "): " + errors.front().what;
+  throw std::runtime_error(msg);
+}
 
 const SweepPoint& SweepResult::at(std::size_t scenario, std::size_t scheme,
                                   std::size_t param,
@@ -164,16 +269,58 @@ SweepResult run_sweep(const SweepSpec& spec, par::ThreadPool* pool) {
   const std::vector<SweepJob> jobs = expand(spec);
   if (pool == nullptr) pool = &par::ThreadPool::global();
 
-  // Every job is an independent Simulator instance with its own RNG
-  // streams; fan out and collect by job index.
-  std::vector<RunResult> raw = pool->parallel_map<RunResult>(
-      jobs.size(), [&jobs, &spec](std::size_t i) {
-        return run_scenario(jobs[i].scenario, jobs[i].scheme, spec.options);
-      });
+  // Per-job content keys: journal entry keys and JobError fingerprints.
+  std::vector<std::uint64_t> job_keys(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    job_keys[i] =
+        run_cache::key_hash(jobs[i].scenario, jobs[i].scheme, spec.options);
 
-  report_shard_profiles(*pool, raw);
+  // Journal replay (WLAN_SWEEP_JOURNAL): completed jobs from an earlier,
+  // interrupted invocation of this exact sweep fill their slots directly;
+  // only the remainder fans out. Series/trace runs bypass the journal
+  // (neither is serialized — same rule as the run cache).
+  std::vector<RunResult> raw(jobs.size());
+  std::vector<char> done(jobs.size(), 0);
+  const std::string journal_base =
+      spec.options.record_series || spec.options.trace != nullptr
+          ? std::string()
+          : sweep_journal::directory();
+  std::string journal_dir;
+  if (!journal_base.empty()) {
+    journal_dir = sweep_journal::sweep_directory(
+        journal_base, sweep_journal::sweep_fingerprint(job_keys));
+    const std::size_t replayed =
+        sweep_journal::replay(journal_dir, job_keys, raw, done);
+    if (replayed > 0)
+      std::fprintf(stderr, "[sweep] journal: replayed %zu/%zu jobs from %s\n",
+                   replayed, jobs.size(), journal_dir.c_str());
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    if (!done[i]) pending.push_back(i);
+
+  // Guarded fan-out over the pending jobs. Each lane writes only its own
+  // jobs' raw/error slots (distinct indices), so no synchronization is
+  // needed beyond the pool's fork-join barrier.
+  const GuardPolicy policy = resolve_policy(spec);
+  std::vector<std::optional<JobError>> job_errors(jobs.size());
+  pool->parallel_for(pending.size(), [&](std::size_t p) {
+    const std::size_t i = pending[p];
+    run_guarded(jobs[i], i, job_keys[i], spec.options, policy, raw[i],
+                job_errors[i]);
+    if (!journal_dir.empty() && !job_errors[i].has_value())
+      sweep_journal::append(journal_dir, i, job_keys[i], raw[i]);
+  });
+
+  report_shard_profiles(*pool, raw, pending);
 
   SweepResult result;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    if (job_errors[i].has_value())
+      result.errors.push_back(std::move(*job_errors[i]));
+  report_errors(result.errors);
   result.num_scenarios = spec.scenarios.size();
   result.num_schemes = spec.schemes.size();
   result.num_params = spec.params.empty() ? 1 : spec.params.size();

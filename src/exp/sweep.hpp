@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "exp/fault.hpp"
 #include "exp/runner.hpp"
 
 namespace wlan::par {
@@ -50,6 +51,17 @@ struct SweepSpec {
   /// Keep the per-seed RunResults in each SweepPoint (per-station
   /// throughput, series, ...). Averages are always computed.
   bool keep_runs = true;
+
+  // Job-guard policy. A job that throws or trips its watchdog is retried
+  // with exponential backoff; when every attempt fails the job folds as a
+  // zeroed RunResult and a structured JobError lands in
+  // SweepResult::errors — the sweep itself never aborts.
+  /// Retries per failing job; -1 = $WLAN_JOB_RETRIES (default 2).
+  int job_retries = -1;
+  /// Base backoff before the first retry, doubling per attempt, in
+  /// milliseconds; -1 = $WLAN_JOB_BACKOFF_MS (default 100). 0 disables
+  /// the sleep (tests want retries without wall-clock cost).
+  int job_backoff_ms = -1;
 
   /// One-point spec: a single (scenario, scheme) pair averaged over seeds.
   static SweepSpec single(const ScenarioConfig& scenario,
@@ -95,6 +107,17 @@ struct SweepResult {
   /// Row-major over scenarios×schemes×params×loads.
   std::vector<SweepPoint> points;
 
+  /// Jobs that failed after every retry, in job-index order. A failed
+  /// job's RunResult folded into its point as deterministic zeros; callers
+  /// that cannot tolerate that must check ok() or throw_if_failed().
+  std::vector<JobError> errors;
+
+  bool ok() const { return errors.empty(); }
+  /// Throws std::runtime_error summarizing `errors` when any job failed
+  /// (run_averaged and the figure drivers use this to keep the historical
+  /// failing-run-throws contract).
+  void throw_if_failed() const;
+
   const SweepPoint& at(std::size_t scenario, std::size_t scheme = 0,
                        std::size_t param = 0, std::size_t load = 0) const;
 };
@@ -102,6 +125,13 @@ struct SweepResult {
 /// Runs every job in the expanded grid on `pool` (default: the process
 /// global pool) and merges per-point in job-index order. Output is
 /// bit-identical for any thread count, including 1.
+///
+/// Crash safety: with $WLAN_SWEEP_JOURNAL set (and no series/trace
+/// recording), each completed job is checkpointed to an on-disk journal;
+/// an interrupted sweep replays the completed jobs on restart and runs
+/// only the remainder, with byte-identical final output. Failing jobs are
+/// guarded (retry + backoff, watchdog timeouts converted to errors) and
+/// reported through SweepResult::errors instead of aborting the sweep.
 SweepResult run_sweep(const SweepSpec& spec,
                       par::ThreadPool* pool = nullptr);
 

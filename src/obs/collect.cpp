@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "exp/fault.hpp"
 #include "exp/run_cache.hpp"
 #include "mac/network.hpp"
 
@@ -56,6 +57,18 @@ void add_run_cache_metrics(MetricsRegistry& reg) {
   const exp::run_cache::Stats cs = exp::run_cache::stats();
   reg.set_count("cache.hits", cs.hits);
   reg.set_count("cache.misses", cs.misses);
+  reg.set_count("cache.quarantined", cs.quarantined);
+}
+
+void add_fault_metrics(MetricsRegistry& reg) {
+  const exp::FaultStats fs = exp::fault_stats();
+  reg.set_count("exp.fault.job_exceptions", fs.job_exceptions);
+  reg.set_count("exp.fault.job_timeouts", fs.job_timeouts);
+  reg.set_count("exp.fault.job_retries", fs.job_retries);
+  reg.set_count("exp.fault.job_failures", fs.job_failures);
+  reg.set_count("exp.fault.journal_replayed", fs.journal_replayed);
+  reg.set_count("exp.fault.journal_appends", fs.journal_appends);
+  reg.set_count("exp.fault.journal_corrupt", fs.journal_corrupt);
 }
 
 void add_profile_metrics(MetricsRegistry& reg, const PhaseProfiler& p) {

@@ -23,6 +23,11 @@ MetricsRegistry collect_metrics(mac::Network& net);
 /// Cumulative across the process, so bench cases exclude them.
 void add_run_cache_metrics(MetricsRegistry& reg);
 
+/// Appends the process-wide fault-tolerance counters (exp.fault.*): job
+/// exceptions/timeouts/retries/failures and sweep-journal activity.
+/// Cumulative across the process, like cache.*.
+void add_fault_metrics(MetricsRegistry& reg);
+
 /// Appends per-category profiler buckets (profile.<cat>.events /
 /// profile.<cat>.wall_ns). Wall times are machine-dependent; like cache.*
 /// they are for humans, not for drift comparison.

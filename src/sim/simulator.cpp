@@ -77,6 +77,45 @@ EventId Simulator::schedule_anchored(Time t, Duration sched_lookback,
 
 void Simulator::cancel(EventId id) { queue_.cancel(id); }
 
+void Simulator::set_watchdog(std::uint64_t max_events,
+                             std::int64_t max_wall_ms) {
+  watchdog_event_budget_ =
+      max_events == 0 ? 0 : events_executed_ + max_events;
+  watchdog_wall_deadline_ns_ =
+      max_wall_ms <= 0
+          ? 0
+          : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                    .count() +
+                max_wall_ms * 1'000'000;
+  watchdog_armed_ = max_events != 0 || max_wall_ms > 0;
+}
+
+void Simulator::check_watchdog() {
+  if (watchdog_event_budget_ != 0 &&
+      events_executed_ >= watchdog_event_budget_) {
+    watchdog_armed_ = false;  // a rethrowing caller must not re-trip
+    throw WatchdogExpired(WatchdogExpired::Kind::kEvents,
+                          "simulation watchdog: event budget exhausted after " +
+                              std::to_string(events_executed_) + " events");
+  }
+  if (watchdog_wall_deadline_ns_ != 0 &&
+      events_executed_ % kWatchdogWallStride == 0) {
+    const std::int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    if (now_ns >= watchdog_wall_deadline_ns_) {
+      watchdog_armed_ = false;
+      throw WatchdogExpired(
+          WatchdogExpired::Kind::kWall,
+          "simulation watchdog: wall-clock deadline exceeded at simulated "
+          "time " +
+              std::to_string(now_.s()) + " s");
+    }
+  }
+}
+
 std::uint64_t Simulator::run_until(Time limit) {
   std::uint64_t ran = 0;
   stop_requested_ = false;
@@ -90,6 +129,7 @@ std::uint64_t Simulator::run_until(Time limit) {
     invoke(fired);
     ++ran;
     ++events_executed_;
+    if (watchdog_armed_) check_watchdog();
   }
   if (!stop_requested_ && now_ < limit) now_ = limit;
   return ran;
@@ -104,6 +144,7 @@ std::uint64_t Simulator::run_all() {
     invoke(fired);
     ++ran;
     ++events_executed_;
+    if (watchdog_armed_) check_watchdog();
   }
   return ran;
 }
@@ -114,6 +155,7 @@ bool Simulator::step() {
   now_ = fired.time;
   invoke(fired);
   ++events_executed_;
+  if (watchdog_armed_) check_watchdog();
   return true;
 }
 

@@ -7,15 +7,25 @@
 #include <string>
 #include <vector>
 
+#include "util/shutdown.hpp"
+
 namespace wlan::util {
 
 /// Writes rows of mixed string/number cells to a CSV file. Quoting follows
 /// RFC 4180: cells containing a comma, quote, or newline are quoted and
 /// embedded quotes doubled.
+///
+/// Every live writer is enrolled in the shutdown-flush registry: a
+/// SIGINT/SIGTERM during a bench run flushes whatever rows were already
+/// written, so the partial CSV ends on a complete line.
 class CsvWriter {
  public:
   /// Opens `path` for writing; throws std::runtime_error on failure.
   explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
 
   /// Writes a header row. Usually called once, first.
   void header(std::initializer_list<std::string> names);
@@ -36,6 +46,7 @@ class CsvWriter {
 
  private:
   std::ofstream out_;
+  FlushHandle flush_handle_ = 0;
 };
 
 /// Formats a double with the given number of significant digits, trimming

@@ -1,35 +1,75 @@
 #include "util/env.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace wlan::util {
 
+namespace {
+
+[[noreturn]] void reject(const std::string& name, const char* raw,
+                         const char* expected) {
+  std::fprintf(stderr, "error: environment variable %s='%s' is not %s\n",
+               name.c_str(), raw, expected);
+  std::exit(2);
+}
+
+}  // namespace
+
+std::optional<double> parse_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+    return std::nullopt;
+  return v;
+}
+
+std::optional<std::int64_t> parse_int(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+    return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<bool> parse_bool(const std::string& text) {
+  if (text == "1" || text == "true" || text == "yes" || text == "on")
+    return true;
+  if (text == "0" || text == "false" || text == "no" || text == "off")
+    return false;
+  return std::nullopt;
+}
+
 double env_double(const std::string& name, double fallback) {
   const char* raw = std::getenv(name.c_str());
   if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  double v = std::strtod(raw, &end);
-  if (end == raw || *end != '\0') return fallback;
-  return v;
+  const auto v = parse_double(raw);
+  if (!v) reject(name, raw, "a number");
+  return *v;
 }
 
 std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   const char* raw = std::getenv(name.c_str());
   if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  long long v = std::strtoll(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
-  return static_cast<std::int64_t>(v);
+  const auto v = parse_int(raw);
+  if (!v) reject(name, raw, "an integer");
+  return *v;
 }
 
 bool env_bool(const std::string& name, bool fallback) {
   const char* raw = std::getenv(name.c_str());
   if (raw == nullptr) return fallback;
-  std::string v = raw;
-  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on")
-    return true;
-  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
-  return fallback;
+  // Set-but-empty reads as "flag present" (historical behaviour relied on
+  // by `WLAN_BENCH_FAST= cmd`-style invocations).
+  if (*raw == '\0') return true;
+  const auto v = parse_bool(raw);
+  if (!v) reject(name, raw, "a boolean (1/true/yes/on or 0/false/no/off)");
+  return *v;
 }
 
 double bench_time_scale() { return env_double("WLAN_BENCH_SECONDS", 1.0); }

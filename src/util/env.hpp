@@ -7,20 +7,44 @@
 // WLAN_THREADS       — lanes in the global par::ThreadPool used by
 //                      exp::run_sweep / run_averaged (0/unset = hardware
 //                      concurrency). A `--threads N` CLI flag wins over it.
+//
+// Malformed values are rejected loudly: a set-but-unparsable numeric knob
+// (e.g. WLAN_THREADS=abc) prints a one-line error to stderr and exits the
+// process with status 2 — silently falling back to a default would make a
+// typo indistinguishable from the default run it silently became. The
+// parse_* helpers expose the underlying (non-exiting) parsers for tests.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace wlan::util {
 
-/// Reads a double env var; returns `fallback` when unset or unparsable.
+/// Parses a complete base-10 floating-point literal; nullopt on malformed
+/// or trailing garbage ("1.5x").
+std::optional<double> parse_double(const std::string& text);
+
+/// Parses a complete base-10 integer literal; nullopt on malformed input,
+/// trailing garbage ("7seeds"), or out-of-range values.
+std::optional<std::int64_t> parse_int(const std::string& text);
+
+/// Parses a boolean: "1"/"true"/"yes"/"on" => true,
+/// "0"/"false"/"no"/"off" => false (case-sensitive, matching the
+/// documented knob spellings); nullopt otherwise.
+std::optional<bool> parse_bool(const std::string& text);
+
+/// Reads a double env var; returns `fallback` when unset or empty.
+/// Exits(2) with a one-line error when set but unparsable.
 double env_double(const std::string& name, double fallback);
 
-/// Reads an integer env var; returns `fallback` when unset or unparsable.
+/// Reads an integer env var; returns `fallback` when unset or empty.
+/// Exits(2) with a one-line error when set but unparsable.
 std::int64_t env_int(const std::string& name, std::int64_t fallback);
 
-/// Reads a boolean env var ("1", "true", "yes", "on" are true).
+/// Reads a boolean env var. Unset => fallback; set-but-empty => true (the
+/// historical "flag is present" reading, e.g. `WLAN_BENCH_FAST= cmd`).
+/// Exits(2) with a one-line error on any other unparsable value.
 bool env_bool(const std::string& name, bool fallback);
 
 /// Multiplier applied to bench simulated durations (WLAN_BENCH_SECONDS

@@ -1,0 +1,83 @@
+#include "util/shutdown.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace wlan::util {
+
+namespace {
+
+// The registry mutex is best-effort inside a signal handler (locking is
+// not async-signal-safe); try_lock keeps the handler from self-deadlocking
+// when the signal lands inside register/unregister — in that worst case
+// the handler skips the sink flushes and still flushes stdio.
+std::mutex g_mutex;
+std::map<FlushHandle, std::function<void()>>& registry() {
+  static auto* r = new std::map<FlushHandle, std::function<void()>>();
+  return *r;
+}
+FlushHandle g_next_handle = 1;
+
+void flush_all_unlocked() {
+  for (auto& [handle, fn] : registry()) {
+    try {
+      fn();
+    } catch (...) {
+      // A sink that cannot flush must not stop the others.
+    }
+  }
+}
+
+extern "C" void shutdown_signal_handler(int signo) {
+  if (g_mutex.try_lock()) {
+    flush_all_unlocked();
+    g_mutex.unlock();
+  }
+  std::fflush(nullptr);
+  const char note[] = "\n[shutdown] caught signal, flushed partial output\n";
+#ifndef _WIN32
+  // write(2) is async-signal-safe where fprintf is not.
+  ssize_t ignored = ::write(2, note, sizeof note - 1);
+  (void)ignored;
+#else
+  std::fputs(note, stderr);
+#endif
+  std::_Exit(128 + signo);
+}
+
+}  // namespace
+
+FlushHandle register_flush(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const FlushHandle handle = g_next_handle++;
+  registry().emplace(handle, std::move(fn));
+  return handle;
+}
+
+void unregister_flush(FlushHandle handle) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  registry().erase(handle);
+}
+
+void shutdown_flush() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  flush_all_unlocked();
+}
+
+void install_shutdown_handlers() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  std::signal(SIGINT, shutdown_signal_handler);
+  std::signal(SIGTERM, shutdown_signal_handler);
+}
+
+}  // namespace wlan::util

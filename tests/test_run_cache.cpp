@@ -209,14 +209,14 @@ TEST(RunCache, ParallelSweepPopulatesAndThenHitsBitIdentically) {
   }
 }
 
-TEST(RunCache, CorruptEntryReadsAsMissAndIsRecomputed) {
+TEST(RunCache, CorruptEntryIsQuarantinedAndRecomputed) {
   CacheDirGuard guard("corrupt");
   const auto scenario = ScenarioConfig::connected(4, 2);
   const auto opts = tiny_options();
   const auto first =
       exp::run_scenario(scenario, SchemeConfig::standard(), opts);
 
-  // Truncate the single cache entry.
+  // Overwrite the single cache entry with garbage.
   std::filesystem::path entry;
   for (const auto& e : std::filesystem::directory_iterator(guard.dir))
     entry = e.path();
@@ -232,14 +232,88 @@ TEST(RunCache, CorruptEntryReadsAsMissAndIsRecomputed) {
   const auto stats = rc::stats();
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(stats.misses, 1u);
-  EXPECT_EQ(stats.stores, 1u);  // re-stored a good entry
+  EXPECT_EQ(stats.stores, 1u);       // re-stored a good entry
+  EXPECT_EQ(stats.quarantined, 1u);  // the garbage was renamed aside
   EXPECT_EQ(first.total_mbps, second.total_mbps);
+
+  // The corrupt bytes survive for inspection under a .quarantined name
+  // (and are never re-read as a cache entry).
+  bool found_quarantined = false;
+  for (const auto& e : std::filesystem::directory_iterator(guard.dir))
+    if (e.path().string().find(".quarantined.") != std::string::npos)
+      found_quarantined = true;
+  EXPECT_TRUE(found_quarantined);
 
   // The rewritten entry now hits.
   const auto third =
       exp::run_scenario(scenario, SchemeConfig::standard(), opts);
   EXPECT_EQ(rc::stats().hits, 1u);
   EXPECT_EQ(first.successes, third.successes);
+}
+
+TEST(RunCache, ChecksumCatchesASingleFlippedByte) {
+  // A flipped byte deep in the payload (not the header, not the key) must
+  // fail the checksum footer — the pre-checksum format would have parsed
+  // it as a plausible but wrong result.
+  CacheDirGuard guard("bitflip");
+  const auto scenario = ScenarioConfig::connected(4, 3);
+  const auto opts = tiny_options();
+  exp::run_scenario(scenario, SchemeConfig::standard(), opts);
+
+  std::filesystem::path entry;
+  for (const auto& e : std::filesystem::directory_iterator(guard.dir))
+    entry = e.path();
+  ASSERT_FALSE(entry.empty());
+  std::FILE* f = std::fopen(entry.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 24, SEEK_SET), 0);  // inside total_mbps
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  std::fseek(f, 24, SEEK_SET);
+  std::fputc(c ^ 0x01, f);
+  std::fclose(f);
+
+  rc::reset_stats();
+  const std::uint64_t key =
+      rc::key_hash(scenario, SchemeConfig::standard(), opts);
+  exp::RunResult out;
+  EXPECT_FALSE(rc::lookup(rc::directory(), key, out));
+  EXPECT_EQ(rc::stats().quarantined, 1u);
+}
+
+TEST(RunCache, EntrySerializationRoundTripsThroughTheBuffer) {
+  exp::RunResult r;
+  r.total_mbps = 3.25;
+  r.successes = 42;
+  r.per_station_mbps = {1.0, 2.25};
+  const std::uint64_t key = 0xDEADBEEFCAFEBABEull;
+  const auto buf = rc::serialize_entry(key, r);
+
+  exp::RunResult out;
+  EXPECT_EQ(rc::deserialize_entry(buf, key, out), rc::EntryStatus::kOk);
+  EXPECT_EQ(out.total_mbps, r.total_mbps);
+  EXPECT_EQ(out.successes, r.successes);
+  EXPECT_EQ(out.per_station_mbps, r.per_station_mbps);
+
+  // Wrong key: corrupt (the entry is not the requested content).
+  EXPECT_EQ(rc::deserialize_entry(buf, key + 1, out),
+            rc::EntryStatus::kCorrupt);
+
+  // Truncation and bit flips: corrupt.
+  auto truncated = buf;
+  truncated.pop_back();
+  EXPECT_EQ(rc::deserialize_entry(truncated, key, out),
+            rc::EntryStatus::kCorrupt);
+  auto flipped = buf;
+  flipped[flipped.size() / 2] ^= 0x10;
+  EXPECT_EQ(rc::deserialize_entry(flipped, key, out),
+            rc::EntryStatus::kCorrupt);
+
+  // Trailing junk after the footer: corrupt, not silently ignored.
+  auto padded = buf;
+  padded.push_back(0);
+  EXPECT_EQ(rc::deserialize_entry(padded, key, out),
+            rc::EntryStatus::kCorrupt);
 }
 
 }  // namespace

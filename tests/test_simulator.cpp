@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 namespace {
@@ -152,6 +154,75 @@ TEST(Simulator, SameTimeEventsRunInScheduleOrder) {
   sim.schedule_at(Time::from_ns(10), [&] { order.push_back(2); });
   sim.run_until(Time::from_ns(10));
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// --- Watchdog ---------------------------------------------------------------
+
+using wlan::sim::WatchdogExpired;
+
+/// Schedules an endless self-rescheduling tick — the deterministic shape
+/// of a "hung" simulation.
+void arm_endless_tick(Simulator& sim) {
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&sim, tick] {
+    sim.schedule_after(Duration::nanoseconds(10), [tick] { (*tick)(); });
+  };
+  sim.schedule_after(Duration::nanoseconds(10), [tick] { (*tick)(); });
+}
+
+TEST(Simulator, WatchdogEventBudgetIsExactAndDeterministic) {
+  Simulator sim;
+  arm_endless_tick(sim);
+  sim.set_watchdog(/*max_events=*/100, /*max_wall_ms=*/0);
+  try {
+    sim.run_all();
+    FAIL() << "watchdog did not fire";
+  } catch (const WatchdogExpired& e) {
+    EXPECT_EQ(e.kind, WatchdogExpired::Kind::kEvents);
+    EXPECT_EQ(sim.events_executed(), 100u);
+  }
+}
+
+TEST(Simulator, WatchdogDoesNotFireUnderBudget) {
+  Simulator sim;
+  int ran = 0;
+  for (int i = 1; i <= 5; ++i)
+    sim.schedule_at(Time::from_ns(i * 10), [&] { ++ran; });
+  sim.set_watchdog(/*max_events=*/100, /*max_wall_ms=*/0);
+  EXPECT_NO_THROW(sim.run_all());
+  EXPECT_EQ(ran, 5);
+}
+
+TEST(Simulator, WatchdogDisarmsAfterFiring) {
+  Simulator sim;
+  arm_endless_tick(sim);
+  sim.set_watchdog(/*max_events=*/10, /*max_wall_ms=*/0);
+  EXPECT_THROW(sim.run_all(), WatchdogExpired);
+  // The throw disarmed the watchdog: stepping further must not re-trip.
+  EXPECT_NO_THROW(sim.step());
+}
+
+TEST(Simulator, WatchdogWallDeadlineFiresOnAHungLoop) {
+  Simulator sim;
+  arm_endless_tick(sim);
+  // A 1 ms wall deadline on an endless loop: fires within the test's own
+  // timeout regardless of machine speed (events are ~free, so the stride
+  // between wall checks passes in microseconds).
+  sim.set_watchdog(/*max_events=*/0, /*max_wall_ms=*/1);
+  try {
+    sim.run_all();
+    FAIL() << "wall watchdog did not fire";
+  } catch (const WatchdogExpired& e) {
+    EXPECT_EQ(e.kind, WatchdogExpired::Kind::kWall);
+  }
+}
+
+TEST(Simulator, ZeroZeroDisarmsTheWatchdog) {
+  Simulator sim;
+  arm_endless_tick(sim);
+  sim.set_watchdog(10, 0);
+  sim.set_watchdog(0, 0);  // disarm before running
+  EXPECT_NO_THROW(sim.run_until(Time::from_ns(10'000)));
 }
 
 }  // namespace

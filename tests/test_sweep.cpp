@@ -174,7 +174,7 @@ TEST(Sweep, PointWithoutParamsAxisReportsNaNParam) {
   EXPECT_GT(result.points[0].runs[0].total_mbps, 0.0);
 }
 
-TEST(Sweep, ExceptionInsideAJobReachesTheCaller) {
+TEST(Sweep, ExceptionInsideAJobIsCapturedAsAJobError) {
   SweepSpec spec;
   spec.scenarios = {ScenarioConfig::connected(3, 1)};
   spec.schemes = {SchemeConfig::standard()};
@@ -184,8 +184,45 @@ TEST(Sweep, ExceptionInsideAJobReachesTheCaller) {
     sc.num_stations = -1;
   };
   spec.options = quick_options();
+  spec.job_retries = 1;
+  spec.job_backoff_ms = 0;
   par::ThreadPool pool(2);
-  EXPECT_ANY_THROW(run_sweep(spec, &pool));
+  // The job guard captures the failure instead of aborting the sweep:
+  // run_sweep returns, the point folds as zeros, and the structured error
+  // names the job.
+  const SweepResult result = run_sweep(spec, &pool);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 1u);
+  const JobError& e = result.errors[0];
+  EXPECT_EQ(e.job_index, 0u);
+  EXPECT_EQ(e.point_index, 0u);
+  EXPECT_EQ(e.seed_index, 0);
+  EXPECT_EQ(e.kind, JobError::Kind::kException);
+  EXPECT_EQ(e.attempts, 2);  // 1 + job_retries
+  EXPECT_FALSE(e.what.empty());
+  EXPECT_DOUBLE_EQ(result.points[0].averaged.mean_mbps, 0.0);
+  // Callers that need the historical abort semantics opt back in.
+  EXPECT_THROW(result.throw_if_failed(), std::runtime_error);
+}
+
+TEST(Sweep, FailedJobDoesNotPoisonTheOtherJobs) {
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::connected(3, 1)};
+  spec.schemes = {SchemeConfig::standard()};
+  spec.params = {0.1, 0.2};
+  // Only the second param point is sick.
+  spec.bind = [](double v, ScenarioConfig& sc, SchemeConfig&) {
+    if (v > 0.15) sc.num_stations = -1;
+  };
+  spec.options = quick_options();
+  spec.job_retries = 0;
+  spec.job_backoff_ms = 0;
+  par::ThreadPool pool(2);
+  const SweepResult result = run_sweep(spec, &pool);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].point_index, 1u);
+  EXPECT_GT(result.at(0, 0, 0).averaged.mean_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(result.at(0, 0, 1).averaged.mean_mbps, 0.0);
 }
 
 }  // namespace

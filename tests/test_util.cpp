@@ -144,12 +144,67 @@ TEST(Env, ReadsValues) {
   ::unsetenv("WLAN_TEST_ENV_B");
 }
 
-TEST(Env, FallsBackWhenUnsetOrBad) {
+TEST(Env, FallsBackWhenUnsetOrEmpty) {
   ::unsetenv("WLAN_TEST_ENV_X");
   EXPECT_DOUBLE_EQ(env_double("WLAN_TEST_ENV_X", 1.5), 1.5);
-  ::setenv("WLAN_TEST_ENV_X", "not_a_number", 1);
   EXPECT_EQ(env_int("WLAN_TEST_ENV_X", 9), 9);
+  EXPECT_FALSE(env_bool("WLAN_TEST_ENV_X", false));
+  ::setenv("WLAN_TEST_ENV_X", "", 1);
+  EXPECT_DOUBLE_EQ(env_double("WLAN_TEST_ENV_X", 1.5), 1.5);
+  EXPECT_EQ(env_int("WLAN_TEST_ENV_X", 9), 9);
+  // Historical reading: a set-but-empty boolean knob means "flag present".
+  EXPECT_TRUE(env_bool("WLAN_TEST_ENV_X", false));
   ::unsetenv("WLAN_TEST_ENV_X");
+}
+
+TEST(Env, ParsersAcceptCompleteLiteralsOnly) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-7").value(), -7);
+  EXPECT_FALSE(parse_int("abc").has_value());
+  EXPECT_FALSE(parse_int("7seeds").has_value());
+  EXPECT_FALSE(parse_int("4.5").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("999999999999999999999999").has_value());
+
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("1e3").value(), 1000.0);
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("not_a_number").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+
+  EXPECT_TRUE(parse_bool("1").value());
+  EXPECT_TRUE(parse_bool("true").value());
+  EXPECT_TRUE(parse_bool("yes").value());
+  EXPECT_TRUE(parse_bool("on").value());
+  EXPECT_FALSE(parse_bool("0").value());
+  EXPECT_FALSE(parse_bool("false").value());
+  EXPECT_FALSE(parse_bool("no").value());
+  EXPECT_FALSE(parse_bool("off").value());
+  EXPECT_FALSE(parse_bool("maybe").has_value());
+}
+
+// Malformed set values are rejected loudly: exit(2) with a one-line
+// error, never a silent fallback (a typo'd WLAN_THREADS=abc must not be
+// indistinguishable from the default run it would silently become).
+TEST(EnvDeathTest, MalformedIntExitsWithError) {
+  ::setenv("WLAN_TEST_ENV_BAD", "not_a_number", 1);
+  EXPECT_EXIT(env_int("WLAN_TEST_ENV_BAD", 9), ::testing::ExitedWithCode(2),
+              "WLAN_TEST_ENV_BAD");
+  ::unsetenv("WLAN_TEST_ENV_BAD");
+}
+
+TEST(EnvDeathTest, MalformedDoubleExitsWithError) {
+  ::setenv("WLAN_TEST_ENV_BAD", "1.5x", 1);
+  EXPECT_EXIT(env_double("WLAN_TEST_ENV_BAD", 1.0),
+              ::testing::ExitedWithCode(2), "WLAN_TEST_ENV_BAD");
+  ::unsetenv("WLAN_TEST_ENV_BAD");
+}
+
+TEST(EnvDeathTest, MalformedBoolExitsWithError) {
+  ::setenv("WLAN_TEST_ENV_BAD", "maybe", 1);
+  EXPECT_EXIT(env_bool("WLAN_TEST_ENV_BAD", false),
+              ::testing::ExitedWithCode(2), "WLAN_TEST_ENV_BAD");
+  ::unsetenv("WLAN_TEST_ENV_BAD");
 }
 
 }  // namespace
