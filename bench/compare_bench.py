@@ -37,6 +37,12 @@ never affects the exit code. The counters are deterministic for a given
 build, so drift usually means the substrate legitimately changed shape
 (e.g. a scheduling optimisation fires fewer events) and the baseline
 should be re-recorded in the same PR.
+
+--drift-json PATH additionally writes the drift as a machine-readable
+block (schema wlan-counter-drift-v1): per-drifted-counter base/cur/delta
+records plus the counters the current run stopped reporting. CI archives
+it as an artifact so a drift regression can be triaged without re-running
+the bench.
 """
 
 import argparse
@@ -72,25 +78,40 @@ def load_cases(path):
 
 
 def report_counter_drift(base_counters, cur_counters):
-    """Prints COUNTER lines for drifted substrate counters. Advisory only:
-    the return value is the number of drifted counters, never an exit code
-    input."""
-    drifted = 0
+    """Prints COUNTER lines for drifted substrate counters and returns the
+    structured counter_drift block (schema wlan-counter-drift-v1). Advisory
+    only: the block never feeds the exit code."""
+    drift = {
+        "schema": "wlan-counter-drift-v1",
+        "drifted": 0,
+        "cases_compared": 0,
+        "counters": [],
+        "missing": [],
+    }
     for name in sorted(set(base_counters) & set(cur_counters)):
         base, cur = base_counters[name], cur_counters[name]
+        drift["cases_compared"] += 1
         for key in sorted(set(base) & set(cur)):
             if base[key] != cur[key]:
                 print(f"COUNTER: {name}.{key}: base {base[key]:.17g} "
                       f"!= cur {cur[key]:.17g}")
-                drifted += 1
+                drift["counters"].append({
+                    "case": name,
+                    "counter": key,
+                    "base": base[key],
+                    "cur": cur[key],
+                    "delta": cur[key] - base[key],
+                })
+                drift["drifted"] += 1
         missing = sorted(set(base) - set(cur))
         if missing:
             print(f"COUNTER: {name}: baseline counter(s) absent from the "
                   f"current run: {', '.join(missing)}")
-    if drifted:
-        print(f"ADVISORY: {drifted} substrate counter(s) drifted "
+            drift["missing"].append({"case": name, "counters": missing})
+    if drift["drifted"]:
+        print(f"ADVISORY: {drift['drifted']} substrate counter(s) drifted "
               f"(re-record the baseline if the change is intended)")
-    return drifted
+    return drift
 
 
 def main():
@@ -112,6 +133,9 @@ def main():
                     metavar="NAME=FRACTION",
                     help="per-case allowed fractional drop, overriding "
                          "--max-regress (repeatable)")
+    ap.add_argument("--drift-json", metavar="PATH",
+                    help="write the counter_drift block "
+                         "(wlan-counter-drift-v1) to PATH")
     args = ap.parse_args()
 
     case_thresholds = {}
@@ -186,7 +210,11 @@ def main():
         print(f"(baseline cases absent from the current run, ignored: "
               f"{', '.join(gone)})")
 
-    report_counter_drift(base_counters, cur_counters)
+    drift = report_counter_drift(base_counters, cur_counters)
+    if args.drift_json:
+        with open(args.drift_json, "w") as f:
+            json.dump(drift, f, indent=2)
+            f.write("\n")
 
     if identity_failed:
         print("FAIL: bit-identity check")

@@ -38,6 +38,13 @@
 #                       same staleness-across-rebuilds caveat as
 #                       WLAN_RUN_CACHE.
 #
+# Live telemetry: every driver runs with WLAN_PROGRESS_JSON pointed at its
+# own results/<driver>/progress.json (src/exp/progress.hpp heartbeat); a
+# background aggregator folds them into results/status.json every few
+# seconds while drivers run, so one `watch cat results/status.json` follows
+# the whole invocation. summary.csv carries each driver's retry count and
+# final run-cache hit/miss tallies next to wall clock and peak RSS.
+#
 # Robustness: each driver that fails is retried once (transient failures —
 # OOM kills, flaky filesystems — should not cost the whole invocation);
 # only a second failure writes the .failed marker that fails the script.
@@ -111,11 +118,13 @@ launch_one() {
   fi
   if [[ ${name} == bench_micro_substrate ]]; then
     # google-benchmark driver: emits JSON instead of a CSV.
-    (cd "${out}" && "${timer[@]}" "${bin}" \
+    (cd "${out}" && WLAN_PROGRESS_JSON="${out}/progress.json" \
+                    "${timer[@]}" "${bin}" \
                     --benchmark_out="${out}/micro_substrate.json" \
                     --benchmark_out_format=json) >> "${out}/driver.log" 2>&1
   else
-    (cd "${out}" && "${timer[@]}" "${bin}") >> "${out}/driver.log" 2>&1
+    (cd "${out}" && WLAN_PROGRESS_JSON="${out}/progress.json" \
+                    "${timer[@]}" "${bin}") >> "${out}/driver.log" 2>&1
   fi
 }
 
@@ -123,11 +132,12 @@ launch_one() {
 # it writes to the CWD lands there, tee the console output to driver.log,
 # retry once on failure, and leave a .failed marker for the final tally.
 run_one() {
-  local bin="$1" name out t0 t1 attempt ok=0
+  local bin="$1" name out t0 t1 attempt ok=0 retries=0
   name="$(basename "${bin}")"
   out="${results_dir}/${name#bench_}"
   mkdir -p "${out}"
-  rm -f "${out}/.failed" "${out}/.wall_seconds" "${out}/.max_rss_kb"
+  rm -f "${out}/.failed" "${out}/.wall_seconds" "${out}/.max_rss_kb" \
+        "${out}/.retries" "${out}/progress.json"
   : > "${out}/driver.log"
   t0="$(date +%s.%N)"
   for attempt in 1 2; do
@@ -136,10 +146,12 @@ run_one() {
       break
     fi
     if [[ ${attempt} -eq 1 ]]; then
+      retries=1
       echo "[run_all] ${name}: attempt 1 failed; retrying once" \
           | tee -a "${out}/driver.log"
     fi
   done
+  echo "${retries}" > "${out}/.retries"
   [[ ${ok} -eq 1 ]] || touch "${out}/.failed"
   t1="$(date +%s.%N)"
   # Per-driver wall clock, assembled into results/summary.csv at the end.
@@ -166,7 +178,69 @@ resume="${WLAN_BENCH_RESUME:-}"
 # theirs (and their summary row); drivers that re-run reset their own.
 if [[ -z ${resume} ]]; then
   rm -f "${results_dir}"/*/.failed "${results_dir}"/*/.wall_seconds \
-        "${results_dir}"/*/.max_rss_kb
+        "${results_dir}"/*/.max_rss_kb "${results_dir}"/*/.retries \
+        "${results_dir}"/*/progress.json
+fi
+
+# Folds every per-driver progress.json heartbeat (plus the run markers)
+# into one results/status.json, written tmp+rename so a watcher never sees
+# a torn document. Skipped silently when python3 is unavailable.
+aggregate_status() {
+  command -v python3 >/dev/null 2>&1 || return 0
+  python3 - "${results_dir}" <<'PY' 2>/dev/null || true
+import json, os, sys, time
+results = sys.argv[1]
+status = {"updated_unix": int(time.time()), "drivers": {}}
+totals = {"jobs_total": 0, "jobs_done": 0, "jobs_failed": 0,
+          "drivers_done": 0, "drivers_failed": 0, "drivers_running": 0,
+          "driver_retries": 0}
+for name in sorted(os.listdir(results)):
+    d = os.path.join(results, name)
+    if not os.path.isdir(d):
+        continue
+    entry = {}
+    try:
+        with open(os.path.join(d, "progress.json")) as f:
+            entry = json.load(f)
+    except (OSError, ValueError):
+        pass
+    if os.path.exists(os.path.join(d, ".failed")):
+        entry["state"] = "failed"
+        totals["drivers_failed"] += 1
+    elif os.path.exists(os.path.join(d, ".wall_seconds")):
+        entry["state"] = "done"
+        totals["drivers_done"] += 1
+    elif entry:
+        entry["state"] = "running"
+        totals["drivers_running"] += 1
+    else:
+        continue  # no heartbeat and no markers: not started yet
+    try:
+        with open(os.path.join(d, ".retries")) as f:
+            entry["driver_retries"] = int(f.read().strip())
+            totals["driver_retries"] += entry["driver_retries"]
+    except (OSError, ValueError):
+        pass
+    totals["jobs_total"] += int(entry.get("total", 0))
+    totals["jobs_done"] += int(entry.get("done", 0))
+    totals["jobs_failed"] += int(entry.get("failed", 0))
+    status["drivers"][name] = entry
+status["totals"] = totals
+tmp = os.path.join(results, "status.json.tmp")
+with open(tmp, "w") as f:
+    json.dump(status, f, indent=2)
+    f.write("\n")
+os.replace(tmp, os.path.join(results, "status.json"))
+PY
+}
+
+# Background aggregator: refresh status.json while drivers run. Disowned so
+# the job-slot accounting and the final `wait` only ever see drivers.
+status_pid=""
+if command -v python3 >/dev/null 2>&1; then
+  ( while :; do aggregate_status; sleep 5; done ) &
+  status_pid=$!
+  disown "${status_pid}" 2>/dev/null || true
 fi
 
 echo "Running ${#benches[@]} drivers, ${jobs} at a time ..."
@@ -186,6 +260,10 @@ for bin in "${benches[@]}"; do
   run_one "${bin}" &
 done
 wait || true
+if [[ -n ${status_pid} ]]; then
+  kill "${status_pid}" 2>/dev/null || true
+fi
+aggregate_status
 
 echo
 echo "Per-driver outputs in ${results_dir}/<driver>/:"
@@ -193,9 +271,11 @@ ls -1 "${results_dir}"
 
 # Wall-clock + peak-RSS summary across drivers (the slow ones are the
 # optimization targets — see ROADMAP's perf item). max_rss_kb is empty when
-# GNU time is unavailable on this machine.
+# GNU time is unavailable; retries is the script-level re-launch count;
+# cache_hits/cache_misses come from the driver's final progress.json
+# heartbeat (empty when the driver predates the heartbeat or ran no sweep).
 summary="${results_dir}/summary.csv"
-echo "driver,wall_seconds,max_rss_kb,status" > "${summary}"
+echo "driver,wall_seconds,max_rss_kb,retries,cache_hits,cache_misses,status" > "${summary}"
 for wall in "${results_dir}"/*/.wall_seconds; do
   [[ -e ${wall} ]] || continue
   dir="$(dirname "${wall}")"
@@ -203,7 +283,15 @@ for wall in "${results_dir}"/*/.wall_seconds; do
   [[ -e "${dir}/.failed" ]] && status=failed
   rss=""
   [[ -s "${dir}/.max_rss_kb" ]] && rss="$(cat "${dir}/.max_rss_kb")"
-  echo "$(basename "${dir}"),$(cat "${wall}"),${rss},${status}"
+  retries=""
+  [[ -s "${dir}/.retries" ]] && retries="$(cat "${dir}/.retries")"
+  hits=""
+  misses=""
+  if [[ -s "${dir}/progress.json" ]]; then
+    hits="$(sed -n 's/.*"cache_hits": \([0-9]*\).*/\1/p' "${dir}/progress.json")"
+    misses="$(sed -n 's/.*"cache_misses": \([0-9]*\).*/\1/p' "${dir}/progress.json")"
+  fi
+  echo "$(basename "${dir}"),$(cat "${wall}"),${rss},${retries},${hits},${misses},${status}"
 done | sort >> "${summary}"
 echo
 echo "Wall-clock summary (${summary}):"

@@ -147,6 +147,46 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 0, proc.stdout)
         self.assertNotIn("COUNTER", proc.stdout)
 
+    def test_drift_json_records_base_cur_delta(self):
+        base = bench_json([("a", 100.0, "0" * 16)],
+                          counters={"a": {"sim.events_executed": 1000,
+                                          "medium.tx_started": 40,
+                                          "mac.cohort.enrollments": 7}})
+        cur = bench_json([("a", 100.0, "0" * 16)],
+                         counters={"a": {"sim.events_executed": 990,
+                                         "medium.tx_started": 40}})
+        out = os.path.join(self.tmp.name, "drift.json")
+        proc = self.run_compare(base, cur, "--drift-json", out)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        with open(out) as f:
+            drift = json.load(f)
+        self.assertEqual(drift["schema"], "wlan-counter-drift-v1")
+        self.assertEqual(drift["drifted"], 1)
+        self.assertEqual(drift["cases_compared"], 1)
+        self.assertEqual(len(drift["counters"]), 1)
+        rec = drift["counters"][0]
+        self.assertEqual(rec["case"], "a")
+        self.assertEqual(rec["counter"], "sim.events_executed")
+        self.assertEqual(rec["base"], 1000)
+        self.assertEqual(rec["cur"], 990)
+        self.assertEqual(rec["delta"], -10)
+        # The counter the current run stopped reporting is listed too.
+        self.assertEqual(drift["missing"],
+                         [{"case": "a",
+                           "counters": ["mac.cohort.enrollments"]}])
+
+    def test_drift_json_empty_when_counters_match(self):
+        data = bench_json([("a", 100.0, "0" * 16)],
+                          counters={"a": {"sim.events_executed": 1000}})
+        out = os.path.join(self.tmp.name, "drift.json")
+        proc = self.run_compare(data, data, "--drift-json", out)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        with open(out) as f:
+            drift = json.load(f)
+        self.assertEqual(drift["drifted"], 0)
+        self.assertEqual(drift["counters"], [])
+        self.assertEqual(drift["missing"], [])
+
     def test_identity_flag_false_exits_2(self):
         base = bench_json([("a", 100.0, "0" * 16)])
         cur = bench_json([("a", 100.0, "0" * 16)], identity_ok=False)

@@ -5,7 +5,9 @@
 
 #include "exp/run_cache.hpp"
 #include "exp/sweep.hpp"
+#include "obs/audit.hpp"
 #include "obs/collect.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "topology/hidden.hpp"
 
@@ -63,12 +65,14 @@ struct Sampler : std::enable_shared_from_this<Sampler> {
   const SchemeConfig& scheme;
   sim::Duration period;
   RunResult& result;
+  obs::AuditSet* audit = nullptr;  // sample-point invariant checks
   std::int64_t prev_bits = 0;
   std::uint64_t prev_drops = 0;
 
   Sampler(mac::Network& net, const SchemeConfig& scheme, sim::Duration period,
-          RunResult& result)
-      : net(net), scheme(scheme), period(period), result(result) {}
+          RunResult& result, obs::AuditSet* audit)
+      : net(net), scheme(scheme), period(period), result(result),
+        audit(audit) {}
 
   void arm() {
     net.simulator().schedule_after(
@@ -103,13 +107,33 @@ struct Sampler : std::enable_shared_from_this<Sampler> {
                    period.s());
       prev_drops = drops;
     }
+    if (audit != nullptr) audit->check(net);
     arm();
   }
 };
 
 void install_sampler(mac::Network& net, const SchemeConfig& scheme,
-                     sim::Duration period, RunResult& result) {
-  std::make_shared<Sampler>(net, scheme, period, result)->arm();
+                     sim::Duration period, RunResult& result,
+                     obs::AuditSet* audit) {
+  std::make_shared<Sampler>(net, scheme, period, result, audit)->arm();
+}
+
+/// An AuditSet when WLAN_AUDIT (or its override) asks for one; null is
+/// "auditing off" throughout the runner.
+std::unique_ptr<obs::AuditSet> make_audit() {
+  if (!obs::AuditSet::enabled()) return nullptr;
+  return std::make_unique<obs::AuditSet>(obs::AuditSet::throw_requested());
+}
+
+/// End-of-run check + audit.* metrics (checks run, laws evaluated,
+/// violations recorded). Call after collect_measurement so the counters
+/// land in the same registry the sweep folds.
+void finish_audit(obs::AuditSet* audit, mac::Network& net, RunResult& result) {
+  if (audit == nullptr) return;
+  audit->check(net);
+  result.metrics.set_count("audit.checks", audit->checks_run());
+  result.metrics.set_count("audit.laws_checked", audit->laws_checked());
+  result.metrics.set_count("audit.violations", audit->violations().size());
 }
 
 std::size_t hidden_pairs_of(const ScenarioConfig& scenario) {
@@ -162,9 +186,11 @@ void collect_measurement(mac::Network& net, RunResult& result) {
   result.metrics = obs::collect_metrics(net);
   obs::add_run_cache_metrics(result.metrics);
   obs::add_fault_metrics(result.metrics);
-  if (const obs::SimObs* o = net.simulator().obs();
-      o != nullptr && o->profiler.enabled())
-    obs::add_profile_metrics(result.metrics, o->profiler);
+  if (const obs::SimObs* o = net.simulator().obs(); o != nullptr) {
+    if (o->flight != nullptr) obs::add_flight_metrics(result.metrics, *o->flight);
+    if (o->profiler.enabled())
+      obs::add_profile_metrics(result.metrics, o->profiler);
+  }
   obs::maybe_export_metrics(result.metrics);
 }
 
@@ -210,8 +236,11 @@ RunResult run_scenario(const ScenarioConfig& scenario,
   if (options.max_events != 0 || options.max_wall_ms > 0)
     net->simulator().set_watchdog(options.max_events, options.max_wall_ms);
   capture_obs = attach_capture(*net, options.trace);
+  // Declared before the sampler captures it; checked at every sample tick
+  // and once after the measurement window.
+  std::unique_ptr<obs::AuditSet> audit = make_audit();
   if (options.record_series) {
-    install_sampler(*net, scheme, options.sample_period, result);
+    install_sampler(*net, scheme, options.sample_period, result, audit.get());
     // Station node ids start after the APs (one AP historically, so the
     // offset used to be the literal 1).
     const int num_aps = net->num_aps();
@@ -232,6 +261,7 @@ RunResult run_scenario(const ScenarioConfig& scenario,
   net->run_for(options.measure);
 
   collect_measurement(*net, result);
+  finish_audit(audit.get(), *net, result);
   finish_capture(capture_obs.get(), options.trace);
   if (!cache_dir.empty()) run_cache::store(cache_dir, cache_key, result);
   return result;
@@ -264,7 +294,8 @@ RunResult run_dynamic(const ScenarioConfig& scenario,
   std::unique_ptr<obs::SimObs> capture_obs;
   auto net = build_network(scenario, scheme);
   capture_obs = attach_capture(*net, trace);
-  install_sampler(*net, scheme, sample_period, result);
+  std::unique_ptr<obs::AuditSet> audit = make_audit();
+  install_sampler(*net, scheme, sample_period, result, audit.get());
   net->start();
 
   for (const auto& step : schedule) {
@@ -282,6 +313,7 @@ RunResult run_dynamic(const ScenarioConfig& scenario,
   net->run_for(total_duration);
 
   collect_measurement(*net, result);
+  finish_audit(audit.get(), *net, result);
   finish_capture(capture_obs.get(), trace);
   return result;
 }

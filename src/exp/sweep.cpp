@@ -9,8 +9,11 @@
 #include <string>
 #include <thread>
 
+#include "exp/progress.hpp"
 #include "exp/run_cache.hpp"
 #include "exp/sweep_journal.hpp"
+#include "obs/audit.hpp"
+#include "obs/collect.hpp"
 #include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
 #include "sim/simulator.hpp"
@@ -303,16 +306,29 @@ SweepResult run_sweep(const SweepSpec& spec, par::ThreadPool* pool) {
 
   // Guarded fan-out over the pending jobs. Each lane writes only its own
   // jobs' raw/error slots (distinct indices), so no synchronization is
-  // needed beyond the pool's fork-join barrier.
+  // needed beyond the pool's fork-join barrier. The progress tracker is
+  // the only shared mutable state and is internally locked; it reads
+  // nothing back into the jobs, so results stay byte-identical with
+  // telemetry on or off.
   const GuardPolicy policy = resolve_policy(spec);
+  const FaultStats fs_before = fault_stats();
+  ProgressTracker progress(jobs.size(), jobs.size() - pending.size());
   std::vector<std::optional<JobError>> job_errors(jobs.size());
   pool->parallel_for(pending.size(), [&](std::size_t p) {
     const std::size_t i = pending[p];
+    const auto t0 = std::chrono::steady_clock::now();
     run_guarded(jobs[i], i, job_keys[i], spec.options, policy, raw[i],
                 job_errors[i]);
     if (!journal_dir.empty() && !job_errors[i].has_value())
       sweep_journal::append(journal_dir, i, job_keys[i], raw[i]);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    progress.job_finished(wall_ms, job_errors[i].has_value());
   });
+  note_sweep_completed();
+  progress.finish();
 
   report_shard_profiles(*pool, raw, pending);
 
@@ -321,6 +337,48 @@ SweepResult run_sweep(const SweepSpec& spec, par::ThreadPool* pool) {
     if (job_errors[i].has_value())
       result.errors.push_back(std::move(*job_errors[i]));
   report_errors(result.errors);
+
+  // Sweep-level metrics fold, serial and in job-index order so the totals
+  // are identical at any thread count. Must happen before the per-point
+  // fold below, which moves the RunResults out of `raw`.
+  for (const RunResult& r : raw)
+    obs::merge_run_metrics(result.metrics, r.metrics);
+  if (result.metrics.contains("flight.attempts")) {
+    // Recompute the derived ratio from folded counts (merge skipped it).
+    const double completed =
+        result.metrics.contains("flight.frames_completed")
+            ? result.metrics.get("flight.frames_completed")
+            : 0.0;
+    result.metrics.set("flight.attempts_per_success",
+                       completed > 0.0
+                           ? result.metrics.get("flight.attempts") / completed
+                           : 0.0);
+  }
+  result.metrics.set_count("sweep.jobs_total", jobs.size());
+  result.metrics.set_count("sweep.jobs_replayed",
+                           jobs.size() - pending.size());
+  result.metrics.set_count("sweep.jobs_failed", result.errors.size());
+  obs::add_run_cache_metrics(result.metrics);
+  obs::add_fault_metrics(result.metrics);
+
+  // Sweep-accounting law (mirrors the in-run auditors): the process-wide
+  // fault counter must have advanced by exactly one failure per JobError
+  // this sweep reports — anything else means a result was double-counted
+  // or silently dropped on a retry path.
+  if (obs::AuditSet::enabled()) {
+    const std::uint64_t failure_delta =
+        fault_stats().job_failures - fs_before.job_failures;
+    if (failure_delta != result.errors.size()) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "sweep-accounting: exp.fault.job_failures advanced by "
+                    "%llu but SweepResult carries %zu JobError(s)",
+                    static_cast<unsigned long long>(failure_delta),
+                    result.errors.size());
+      if (obs::AuditSet::throw_requested()) throw obs::AuditFailure(buf);
+      std::fprintf(stderr, "wlan-audit: %s\n", buf);
+    }
+  }
   result.num_scenarios = spec.scenarios.size();
   result.num_schemes = spec.schemes.size();
   result.num_params = spec.params.empty() ? 1 : spec.params.size();

@@ -21,6 +21,7 @@
 
 #include "exp/fault.hpp"
 #include "exp/runner.hpp"
+#include "obs/metrics.hpp"
 
 namespace wlan::par {
 class ThreadPool;
@@ -111,6 +112,16 @@ struct SweepResult {
   /// job's RunResult folded into its point as deterministic zeros; callers
   /// that cannot tolerate that must check ok() or throw_if_failed().
   std::vector<JobError> errors;
+
+  /// Sweep-level metric totals: every per-run registry folded in job-index
+  /// order via obs::merge_run_metrics (so totals are exact and identical
+  /// at any thread count), plus sweep.jobs_total / sweep.jobs_replayed /
+  /// sweep.jobs_failed and a post-sweep snapshot of the process-cumulative
+  /// cache.* / exp.fault.* counters. flight.attempts_per_success is
+  /// recomputed here from the folded counts (a ratio cannot be summed).
+  /// Note: jobs satisfied by the run cache or a journal replay carry empty
+  /// registries, so fold totals only cover freshly simulated jobs.
+  obs::MetricsRegistry metrics;
 
   bool ok() const { return errors.empty(); }
   /// Throws std::runtime_error summarizing `errors` when any job failed

@@ -113,6 +113,7 @@ void ContentionArbiter::pending_expired(PendingCohort* cohort) {
     }
     fresh->entry = now;
     fresh->anchor_seq = 0;
+    fresh->id = ++next_backoff_id_;
     fresh->members.clear();
     target = fresh.get();
     backoff_.push_back(std::move(fresh));
@@ -127,6 +128,7 @@ void ContentionArbiter::pending_expired(PendingCohort* cohort) {
   // its own RNG/strategy — the identical draws, in an order that cannot
   // matter (stations share no decision state).
   for (Station* s : cohort->members) {
+    s->cohort_id_ = target->id;
     s->cohort_enter_backoff();
     target->members.push_back(s);
   }

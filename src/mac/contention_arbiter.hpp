@@ -126,6 +126,7 @@ class ContentionArbiter {
     sim::Time entry;           // anchor instant of every member's grid
     std::uint64_t anchor_seq;  // anchored order_seq (first schedule's seq)
     sim::Time due;             // currently scheduled minimum boundary
+    std::uint64_t id = 0;      // process-unique label (flight recorder)
     std::vector<Station*> members;  // enrollment order
     sim::EventId event;
   };
@@ -152,6 +153,7 @@ class ContentionArbiter {
   std::vector<std::unique_ptr<PendingCohort>> pending_pool_;
   std::vector<std::unique_ptr<BackoffCohort>> backoff_pool_;
   std::vector<Station*> scratch_;  // decision_due survivor rebuild
+  std::uint64_t next_backoff_id_ = 0;  // BackoffCohort::id source
   Stats stats_;
 };
 

@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "mac/contention_arbiter.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "traffic/source.hpp"
 #include "util/env.hpp"
@@ -36,6 +37,19 @@ bool Station::cohort_enabled() {
 
 void Station::set_batching_override(int value) { g_batch_override = value; }
 void Station::set_cohort_override(int value) { g_cohort_override = value; }
+
+Station::BackoffAudit Station::backoff_audit() const {
+  BackoffAudit a;
+  a.drawn = audit_drawn_;
+  a.consumed = audit_consumed_;
+  a.rewound = audit_rewound_;
+  // A pending batch's draws are neither consumed nor rewound yet; the
+  // legacy per-slot path consumes each draw the instant it is made.
+  a.outstanding = (state_ == State::kBackoff && batching_enabled())
+                      ? static_cast<std::uint64_t>(batch_planned_)
+                      : 0;
+  return a;
+}
 
 Station::Station(sim::Simulator& simulator, phy::Medium& medium,
                  const WifiParams& params,
@@ -140,6 +154,9 @@ void Station::resume_contention() {
 
 void Station::begin_ifs_wait(sim::Time) {
   set_state(State::kDifsWait);
+  // First entry per frame opens the contention span (re-entries after busy
+  // interruptions are no-ops inside the recorder).
+  WLAN_OBS_FLIGHT(sim_, on_contention(sim_.now().ns(), self_, audit_consumed_));
   // EIFS after an undecodable busy period, DIFS otherwise (802.11 9.3.2.3.7).
   const sim::Duration wait = eifs_pending_ ? params_.eifs() : params_.difs;
   eifs_pending_ = false;
@@ -165,6 +182,8 @@ void Station::schedule_slot() {
 
 void Station::slot_boundary() {
   assert(state_ == State::kBackoff);
+  ++audit_drawn_;
+  ++audit_consumed_;
   const bool tx = strategy_->decide_transmit(rng_);
   if (tx) {
     commit_transmission();
@@ -190,6 +209,7 @@ void Station::draw_batch() {
   }
   batch_planned_ = k;
   batch_transmit_ = transmit;
+  audit_drawn_ += static_cast<std::uint64_t>(k);
 }
 
 void Station::begin_backoff(bool fresh) {
@@ -234,6 +254,7 @@ sim::Time Station::cohort_boundary() const {
 
 bool Station::cohort_decision() {
   assert(state_ == State::kBackoff);
+  audit_consumed_ += static_cast<std::uint64_t>(batch_planned_);
   if (batch_transmit_) {
     commit_transmission();
     return true;
@@ -249,6 +270,7 @@ bool Station::cohort_decision() {
 
 void Station::decision_boundary() {
   assert(state_ == State::kBackoff);
+  audit_consumed_ += static_cast<std::uint64_t>(batch_planned_);
   if (batch_transmit_) {
     commit_transmission();
   } else {
@@ -272,6 +294,8 @@ void Station::rollback_backoff(bool boundary_draw_counts) {
   std::int64_t replay = elapsed / slot_ns;
   if (replay > 0 && elapsed % slot_ns == 0 && !boundary_draw_counts) --replay;
   assert(replay < batch_planned_);
+  audit_consumed_ += static_cast<std::uint64_t>(replay);
+  audit_rewound_ += static_cast<std::uint64_t>(batch_planned_ - replay);
   rng_ = backoff_rng_;
   strategy_->restore_decision_state();
   for (std::int64_t i = 0; i < replay; ++i) {
@@ -328,6 +352,8 @@ void Station::transmit_data_frame(bool slot_committed) {
   frame.payload_bits = params_.payload_bits;
   frame.seq = next_seq_++;
   frame.nav = params_.sifs + params_.ack_airtime();
+  WLAN_OBS_FLIGHT(sim_,
+                  on_attempt(now.ns(), self_, audit_consumed_, cohort_id_));
   medium_.start_transmission(self_, frame, params_.data_airtime(),
                              slot_committed);
 
@@ -339,6 +365,7 @@ void Station::transmit_data_frame(bool slot_committed) {
 void Station::cts_timeout() {
   assert(state_ == State::kWaitCts);
   if (counters_ != nullptr) ++counters_->cts_timeouts;
+  WLAN_OBS_FLIGHT(sim_, on_timeout(sim_.now().ns(), self_));
   strategy_->on_failure(rng_);
   finish_exchange();
 }
@@ -346,6 +373,7 @@ void Station::cts_timeout() {
 void Station::ack_timeout() {
   assert(state_ == State::kWaitAck);
   if (counters_ != nullptr) ++counters_->failures;
+  WLAN_OBS_FLIGHT(sim_, on_timeout(sim_.now().ns(), self_));
   strategy_->on_failure(rng_);
   finish_exchange();
 }
@@ -454,6 +482,7 @@ void Station::on_frame_received(const phy::Frame& frame, bool clean,
       if (own_ack && state_ == State::kWaitAck) {
         sim_.cancel(ack_timeout_event_);
         if (counters_ != nullptr) ++counters_->successes;
+        WLAN_OBS_FLIGHT(sim_, on_ack(now.ns(), self_));
         strategy_->on_success(rng_);
         // The head packet's MAC journey ends with this ACK.
         if (traffic_ != nullptr) traffic_->complete_head(now);

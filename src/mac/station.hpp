@@ -142,6 +142,22 @@ class Station final : public phy::MediumClient {
   static void set_batching_override(int value);
   static void set_cohort_override(int value);
 
+  /// Lifetime backoff-draw accounting (pure counters, no behaviour). The
+  /// conservation law obs::AuditSet checks:
+  ///   drawn == consumed + rewound + outstanding
+  /// where every decide_transmit() draw is `drawn` when pre-drawn (or made
+  /// at a legacy slot boundary), `consumed` once its slot boundary elapsed
+  /// (or it was replayed by a rollback), `rewound` when a busy
+  /// interruption proved it premature, and `outstanding` while its batch
+  /// is still pending.
+  struct BackoffAudit {
+    std::uint64_t drawn = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t rewound = 0;
+    std::uint64_t outstanding = 0;
+  };
+  BackoffAudit backoff_audit() const;
+
  private:
   enum class State {
     kInactive,     // deactivated, not contending
@@ -229,6 +245,15 @@ class Station final : public phy::MediumClient {
   /// Set when the last observed busy period ended in an undecodable frame;
   /// the next idle wait then uses EIFS instead of DIFS (IEEE 802.11).
   bool eifs_pending_ = false;
+  /// Backoff-draw conservation counters (see BackoffAudit). audit_consumed_
+  /// doubles as the lifetime elapsed-backoff-slot count the flight
+  /// recorder's per-attempt slot deltas are computed from.
+  std::uint64_t audit_drawn_ = 0;
+  std::uint64_t audit_consumed_ = 0;
+  std::uint64_t audit_rewound_ = 0;
+  /// Label of the arbiter cohort this station last entered backoff under
+  /// (0: per-station path). Written by ContentionArbiter (friend).
+  std::uint64_t cohort_id_ = 0;
   stats::IdleSlotMeter idle_meter_;
 };
 

@@ -8,6 +8,7 @@
 #include "exp/fault.hpp"
 #include "exp/run_cache.hpp"
 #include "mac/network.hpp"
+#include "obs/flight.hpp"
 
 namespace wlan::obs {
 
@@ -78,6 +79,38 @@ void add_profile_metrics(MetricsRegistry& reg, const PhaseProfiler& p) {
     const std::string base = std::string("profile.") + category_name(c);
     reg.set_count(base + ".events", p.events(c));
     reg.set_count(base + ".wall_ns", static_cast<std::uint64_t>(p.wall_ns(c)));
+  }
+}
+
+void add_flight_metrics(MetricsRegistry& reg, const FlightRecorder& fr) {
+  const FlightTotals& t = fr.totals();
+  reg.set_count("flight.frames_enqueued", t.frames_enqueued);
+  reg.set_count("flight.frames_saturated", t.frames_saturated);
+  reg.set_count("flight.frames_completed", t.frames_completed);
+  reg.set_count("flight.frames_dropped", t.frames_dropped);
+  reg.set_count("flight.attempts", t.attempts);
+  reg.set_count("flight.timeouts", t.timeouts);
+  reg.set_count("flight.verdicts_corrupt", t.verdicts_corrupt);
+  reg.set_count("flight.slots_waited", t.slots_waited);
+  reg.set_count("flight.air_ns", static_cast<std::uint64_t>(t.air_ns));
+  reg.set_count("flight.contention_ns",
+                static_cast<std::uint64_t>(t.contention_ns));
+  reg.set_count("flight.queue_ns", static_cast<std::uint64_t>(t.queue_ns));
+  reg.set("flight.attempts_per_success", fr.attempts_per_success());
+}
+
+bool is_process_cumulative_metric(const std::string& name) {
+  return name.rfind("cache.", 0) == 0 || name.rfind("exp.fault.", 0) == 0 ||
+         name.rfind("profile.", 0) == 0;
+}
+
+void merge_run_metrics(MetricsRegistry& into, const MetricsRegistry& run) {
+  for (const auto& [name, value] : run.entries()) {
+    if (is_process_cumulative_metric(name)) continue;
+    // Derived ratio, not a count: summing it is meaningless. The sweep
+    // fold recomputes it from the folded flight.* counts.
+    if (name == "flight.attempts_per_success") continue;
+    into.set(name, (into.contains(name) ? into.get(name) : 0.0) + value);
   }
 }
 

@@ -4,6 +4,8 @@
 // components themselves only ever see obs/trace.hpp.
 #pragma once
 
+#include <string>
+
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 
@@ -12,6 +14,8 @@ class Network;
 }
 
 namespace wlan::obs {
+
+class FlightRecorder;
 
 /// Snapshot of a finished run's counters: sim.* (executive + event heap),
 /// medium.*, mac.cohort.* (cohort path only) and traffic.* (finite-source
@@ -32,6 +36,23 @@ void add_fault_metrics(MetricsRegistry& reg);
 /// profile.<cat>.wall_ns). Wall times are machine-dependent; like cache.*
 /// they are for humans, not for drift comparison.
 void add_profile_metrics(MetricsRegistry& reg, const PhaseProfiler& p);
+
+/// Appends flight-recorder span aggregates (flight.*): frame counts by
+/// outcome, attempts-per-success, and the contention-vs-air-vs-queue
+/// latency split over completed frames. Deterministic for a deterministic
+/// run, like collect_metrics.
+void add_flight_metrics(MetricsRegistry& reg, const FlightRecorder& fr);
+
+/// True for metric names that accumulate across the PROCESS rather than
+/// one run (cache.*, exp.fault.*, profile.*) — summing them per-job would
+/// double-count, so the sweep-level fold skips them.
+bool is_process_cumulative_metric(const std::string& name);
+
+/// Folds one run's registry into a sweep-level registry: per-run names are
+/// summed in call order, process-cumulative names are skipped. Calling
+/// this per job index in ascending order yields the same totals at any
+/// thread count (exact: counter sums are integer-valued doubles).
+void merge_run_metrics(MetricsRegistry& into, const MetricsRegistry& run);
 
 /// When WLAN_METRICS=<dir> is set, writes `reg` to
 /// `<dir>/metrics.<n>.json` (n = process-wide counter). No-op otherwise.

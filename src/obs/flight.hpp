@@ -1,0 +1,206 @@
+// Frame-lifecycle flight recorder: every data frame gets a FrameId when it
+// enters the system (traffic enqueue; saturated stations mint at the first
+// contention entry for the head-of-line frame) and its causal span chain —
+// enqueue → contention entry → each tx attempt (backoff slots waited,
+// cohort id) → per-delivery clean/corrupt verdict → ACK or drop — is
+// recorded into a per-station overwrite-oldest ring of 32-byte PODs.
+//
+// Zero perturbation, same contract as trace.hpp: hooks only READ simulation
+// state, stamps are SIMULATED time only, and every hook compiles out under
+// -DWLAN_OBS_TRACE=OFF (the WLAN_OBS_FLIGHT macro in trace.hpp). Runs with
+// the recorder on, off, or compiled out produce byte-identical CSVs — the
+// CI fig04 cmp gate pins this.
+//
+// Runtime gating: WLAN_FLIGHT (off by default; a path-like value doubles as
+// the auto-export prefix, mirroring WLAN_TRACE), WLAN_FLIGHT_BUFFER
+// (per-node ring capacity), WLAN_FLIGHT_FRAMES (completed-frame table
+// capacity). SimObs::set_flight_override lets tests force it in-process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wlan::obs {
+
+/// Process-unique-per-recorder frame identity; 0 means "no frame".
+using FrameId = std::uint64_t;
+
+// Flight event kinds (disjoint from ev:: trace codes — flight records form
+// their own stream keyed by FrameId, not a trace category).
+namespace fev {
+inline constexpr std::uint16_t kEnqueue = 0;     // detail = queue size after push
+inline constexpr std::uint16_t kContention = 1;  // first contention entry
+inline constexpr std::uint16_t kAttempt = 2;     // detail = slots | cohort<<32
+inline constexpr std::uint16_t kVerdict = 3;     // detail = clean flag
+inline constexpr std::uint16_t kTimeout = 4;     // CTS/ACK timeout
+inline constexpr std::uint16_t kAck = 5;         // exchange completed
+inline constexpr std::uint16_t kDrop = 6;        // tail-dropped at enqueue
+inline constexpr std::uint16_t kNumFlightEvents = 7;
+}  // namespace fev
+
+/// Short name for a flight event kind ("enqueue", "attempt", ...).
+const char* flight_event_name(std::uint16_t kind);
+
+/// Packs a tx attempt's detail word: backoff slots waited since the
+/// previous attempt in the low 32 bits, the arbiter cohort id (0 on the
+/// per-station path) in the high 32.
+constexpr std::uint64_t pack_attempt_detail(std::uint64_t slots,
+                                            std::uint64_t cohort) {
+  return (slots & 0xFFFFFFFFu) | ((cohort & 0xFFFFFFFFu) << 32);
+}
+
+struct FlightEvent {
+  std::int64_t time_ns = 0;  // simulated time
+  FrameId frame = 0;
+  std::uint32_t node = 0;
+  std::uint16_t kind = 0;  // fev:: code
+  std::uint16_t pad = 0;
+  std::uint64_t detail = 0;
+
+  bool operator==(const FlightEvent&) const = default;
+};
+static_assert(sizeof(FlightEvent) == 32, "keep flight records pooled/POD");
+
+/// Per-frame latency/retry breakdown, closed at ACK or drop.
+struct FrameStat {
+  FrameId frame = 0;
+  std::uint32_t node = 0;
+  bool dropped = false;        // tail drop (never entered the MAC)
+  std::int64_t enqueue_ns = -1;     // -1: saturated (no queue residency)
+  std::int64_t contention_ns = -1;  // first contention entry; -1 if none
+  std::int64_t complete_ns = 0;     // ACK (or drop instant)
+  std::uint32_t attempts = 0;       // data-frame tx attempts
+  std::uint32_t timeouts = 0;       // CTS/ACK timeouts survived
+  std::uint32_t verdicts_corrupt = 0;  // corrupted copies at the destination
+  std::uint64_t slots_waited = 0;      // backoff slots across all attempts
+  std::int64_t air_ns = 0;             // data airtime across all attempts
+};
+
+/// Aggregate span stats over completed frames (lifetime, never reset).
+struct FlightTotals {
+  std::uint64_t frames_enqueued = 0;   // traffic-path FrameIds minted
+  std::uint64_t frames_saturated = 0;  // head-of-line FrameIds minted
+  std::uint64_t frames_completed = 0;  // closed by an ACK
+  std::uint64_t frames_dropped = 0;    // tail-dropped at enqueue
+  std::uint64_t attempts = 0;          // on completed frames
+  std::uint64_t timeouts = 0;
+  std::uint64_t verdicts_corrupt = 0;
+  std::uint64_t slots_waited = 0;
+  std::int64_t air_ns = 0;         // on-air time of completed frames
+  std::int64_t contention_ns = 0;  // contention-to-ACK minus airtime
+  std::int64_t queue_ns = 0;       // enqueue-to-first-contention residency
+};
+
+/// The recorder. One per SimObs (see trace.hpp); all hooks arrive through
+/// WLAN_OBS_FLIGHT from a single simulator thread, in event order — state
+/// here is exactly as deterministic as the simulation driving it.
+class FlightRecorder {
+ public:
+  /// `ring_capacity`: per-node FlightEvent ring; `frames_capacity`:
+  /// completed-frame table (both overwrite-oldest once full).
+  explicit FlightRecorder(std::size_t ring_capacity = 2048,
+                          std::size_t frames_capacity = 1u << 16);
+
+  // ---- hooks (called via WLAN_OBS_FLIGHT; simulation thread only) ----
+
+  /// traffic::TrafficSource arrival. Mints the FrameId; a rejected push
+  /// (tail drop) closes the frame immediately with a kDrop record.
+  void on_enqueue(std::int64_t now_ns, std::uint32_t node,
+                  std::uint64_t queue_size, bool accepted);
+
+  /// mac::Station entered its DIFS/EIFS wait. The first entry per frame
+  /// opens the contention span (and mints the FrameId for saturated
+  /// stations); re-entries after busy interruptions are part of the same
+  /// span and record nothing. `slots_consumed` is the station's lifetime
+  /// backoff-slot counter, the baseline for per-attempt slot deltas.
+  void on_contention(std::int64_t now_ns, std::uint32_t node,
+                     std::uint64_t slots_consumed);
+
+  /// A data-frame tx attempt started. `slots_consumed` as above; the delta
+  /// since the previous mark is this attempt's backoff-slots-waited.
+  void on_attempt(std::int64_t now_ns, std::uint32_t node,
+                  std::uint64_t slots_consumed, std::uint64_t cohort_id);
+
+  /// phy::Medium put this node's data frame on the air for `air_ns`.
+  void on_air(std::int64_t now_ns, std::uint32_t node, std::int64_t air_ns);
+
+  /// phy::Medium delivered this node's data frame to its destination;
+  /// `clean` is the collision/corruption verdict for that copy.
+  void on_verdict(std::int64_t now_ns, std::uint32_t node, bool clean);
+
+  /// CTS/ACK timeout: the attempt failed, the frame stays open.
+  void on_timeout(std::int64_t now_ns, std::uint32_t node);
+
+  /// Own ACK received: the frame's span chain closes as a success.
+  void on_ack(std::int64_t now_ns, std::uint32_t node);
+
+  // ---- inspection / export (no simulation state involved) ----
+
+  const FlightTotals& totals() const { return totals_; }
+  /// Completed frames surviving the table cap, oldest first.
+  std::vector<FrameStat> completed_frames() const;
+  std::uint64_t completed_dropped() const { return frames_dropped_records_; }
+  /// One node's surviving flight events, oldest first.
+  std::vector<FlightEvent> node_events(std::uint32_t node) const;
+  /// All surviving flight events merged in record order (stable across
+  /// nodes by timestamp, then node id).
+  std::vector<FlightEvent> all_events() const;
+
+  /// Mean data-frame attempts per ACKed frame (0 when none completed).
+  double attempts_per_success() const;
+
+  /// Human-readable excerpt of the last `max_events` flight records of one
+  /// node, naming FrameIds — the auditors attach this to violations.
+  std::string excerpt(std::uint32_t node, std::size_t max_events = 8) const;
+
+  /// Compact per-frame CSV (one row per completed frame).
+  std::string frames_csv() const;
+  /// Chrome trace-event JSON: one async track ("b"/"e" span pair keyed by
+  /// FrameId) per completed frame plus instant events for the per-node
+  /// rings — loads in ui.perfetto.dev next to the PR-7 trace export.
+  std::string chrome_json() const;
+
+  /// Non-empty: destructor-time auto-export path prefix (bounded
+  /// process-wide by WLAN_TRACE_EXPORTS, same cap as the trace export).
+  std::string export_path;
+
+ private:
+  struct PendingFrame {
+    FrameId frame = 0;
+    std::int64_t enqueue_ns = 0;
+  };
+
+  struct NodeState {
+    // FIFO mirror of the station's PacketQueue (traffic path only).
+    std::vector<PendingFrame> fifo;
+    std::size_t fifo_head = 0;
+    FrameStat cur;        // head-of-line frame being worked by the MAC
+    bool cur_open = false;
+    std::uint64_t slots_mark = 0;  // slots_consumed at the last attempt
+    // Per-node overwrite-oldest event ring (grow-on-demand like
+    // TraceRecorder).
+    std::vector<FlightEvent> ring;
+    std::size_t ring_write = 0;
+    std::uint64_t ring_dropped = 0;
+  };
+
+  NodeState& node_state(std::uint32_t node);
+  void record(NodeState& st, std::int64_t now_ns, FrameId frame,
+              std::uint32_t node, std::uint16_t kind, std::uint64_t detail);
+  void open_current(NodeState& st, std::int64_t now_ns, std::uint32_t node,
+                    std::uint64_t slots_consumed);
+  void close_current(NodeState& st, std::int64_t now_ns);
+  void push_completed(const FrameStat& fs);
+
+  FrameId next_id_ = 1;
+  std::size_t ring_capacity_;
+  std::size_t frames_capacity_;
+  std::vector<NodeState> nodes_;
+  std::vector<FrameStat> completed_;
+  std::size_t completed_write_ = 0;
+  std::uint64_t frames_dropped_records_ = 0;  // FrameStats overwritten
+  FlightTotals totals_;
+};
+
+}  // namespace wlan::obs

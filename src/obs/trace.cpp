@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/flight.hpp"
 #include "util/env.hpp"
 
 namespace wlan::obs {
@@ -12,6 +13,9 @@ namespace {
 
 // -1 = follow WLAN_TRACE, 0/1 = forced (tests; see set_trace_override).
 std::atomic<int> g_trace_override{-1};
+
+// -1 = follow WLAN_FLIGHT, 0/1 = forced (tests; see set_flight_override).
+std::atomic<int> g_flight_override{-1};
 
 // Forced-on tracing keeps a deliberately small ring: the TSan sweep test
 // turns it on for every simulator a sweep constructs.
@@ -53,6 +57,10 @@ struct EnvConfig {
   std::size_t capacity = kDefaultCapacity;
   std::string export_path;  // non-empty when WLAN_TRACE names a path prefix
   bool profile = false;
+  bool flight = false;
+  std::string flight_export;  // non-empty when WLAN_FLIGHT names a prefix
+  std::size_t flight_buffer = 2048;
+  std::size_t flight_frames = 1u << 16;
 };
 
 // Read once per process: every Simulator construction consults this, and
@@ -74,6 +82,19 @@ const EnvConfig& env_config() {
         "WLAN_TRACE_BUFFER", static_cast<std::int64_t>(kDefaultCapacity));
     c.capacity = cap > 0 ? static_cast<std::size_t>(cap) : std::size_t{1};
     c.profile = util::env_bool("WLAN_PROFILE", false);
+    if (const char* f = std::getenv("WLAN_FLIGHT"); f != nullptr && *f != '\0') {
+      const std::string v(f);
+      if (!falsy(v)) {
+        c.flight = true;
+        if (!truthy(v)) c.flight_export = v;
+      }
+    }
+    const std::int64_t fbuf = util::env_int("WLAN_FLIGHT_BUFFER", 2048);
+    c.flight_buffer = fbuf > 0 ? static_cast<std::size_t>(fbuf) : std::size_t{1};
+    const std::int64_t fframes =
+        util::env_int("WLAN_FLIGHT_FRAMES", std::int64_t{1} << 16);
+    c.flight_frames =
+        fframes > 0 ? static_cast<std::size_t>(fframes) : std::size_t{1};
     return c;
   }();
   return cfg;
@@ -135,19 +156,43 @@ void TraceRecorder::clear() {
 
 std::unique_ptr<SimObs> SimObs::from_env() {
   const int forced = g_trace_override.load(std::memory_order_relaxed);
-  if (forced == 1) return std::make_unique<SimObs>(kAllCategories, kOverrideCapacity);
+  const int flight_forced = g_flight_override.load(std::memory_order_relaxed);
   const EnvConfig& cfg = env_config();
-  const bool trace_on = forced == 0 ? false : cfg.trace;
-  if (!trace_on && !cfg.profile) return nullptr;
-  auto obs = std::make_unique<SimObs>(trace_on ? cfg.mask : 0u, cfg.capacity);
-  if (trace_on) obs->export_path = cfg.export_path;
-  if (cfg.profile) obs->profiler.enable();
+  const bool flight_on = flight_forced == 1    ? true
+                         : flight_forced == 0 ? false
+                                              : cfg.flight;
+  std::unique_ptr<SimObs> obs;
+  if (forced == 1) {
+    obs = std::make_unique<SimObs>(kAllCategories, kOverrideCapacity);
+  } else {
+    const bool trace_on = forced == 0 ? false : cfg.trace;
+    if (!trace_on && !cfg.profile && !flight_on) return nullptr;
+    obs = std::make_unique<SimObs>(trace_on ? cfg.mask : 0u, cfg.capacity);
+    if (trace_on) obs->export_path = cfg.export_path;
+    if (cfg.profile) obs->profiler.enable();
+  }
+  if (flight_on) {
+    obs->flight = std::make_unique<FlightRecorder>(cfg.flight_buffer,
+                                                   cfg.flight_frames);
+    // Overrides stay in-memory: only the env path opts into auto-export.
+    if (flight_forced == -1) obs->flight->export_path = cfg.flight_export;
+  }
   return obs;
 }
+
+SimObs::SimObs(std::uint32_t mask, std::size_t capacity)
+    : trace(mask, capacity) {}
+
+SimObs::~SimObs() = default;
 
 void SimObs::set_trace_override(int value) {
   g_trace_override.store(value < 0 ? -1 : (value != 0 ? 1 : 0),
                          std::memory_order_relaxed);
+}
+
+void SimObs::set_flight_override(int value) {
+  g_flight_override.store(value < 0 ? -1 : (value != 0 ? 1 : 0),
+                          std::memory_order_relaxed);
 }
 
 bool SimObs::profile_enabled_by_env() { return env_config().profile; }

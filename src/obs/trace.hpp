@@ -109,17 +109,25 @@ class TraceRecorder {
   std::vector<TraceRecord> buf_;
 };
 
+class FlightRecorder;  // obs/flight.hpp
+
 /// Per-simulator observability bundle. One heap object per sim::Simulator
-/// (usually null: nothing is allocated unless tracing/profiling is asked
-/// for), reached from trace points via Simulator::obs().
+/// (usually null: nothing is allocated unless tracing/profiling/flight
+/// recording is asked for), reached from trace points via Simulator::obs().
 struct SimObs {
   TraceRecorder trace;
   PhaseProfiler profiler;
+  /// Frame flight recorder (obs/flight.hpp); null unless WLAN_FLIGHT (or a
+  /// test attachment) requested it. WLAN_OBS_FLIGHT hooks check the
+  /// pointer, so the off cost is the same one branch as a trace point.
+  std::unique_ptr<FlightRecorder> flight;
   /// Non-empty: destructor-time Chrome-JSON auto-export path prefix
   /// (bounded process-wide by WLAN_TRACE_EXPORTS; see trace_export.hpp).
   std::string export_path;
 
-  SimObs(std::uint32_t mask, std::size_t capacity) : trace(mask, capacity) {}
+  // Out of line: FlightRecorder is incomplete here.
+  SimObs(std::uint32_t mask, std::size_t capacity);
+  ~SimObs();
 
   /// The one call every trace point compiles into: stamps the profiler's
   /// attribution (first point in a callback wins) and records into the
@@ -141,6 +149,10 @@ struct SimObs {
   ///   WLAN_TRACE_BUFFER     ring capacity in records (default 262144)
   ///   WLAN_TRACE_EXPORTS    max auto-exported files per process (default 8)
   ///   WLAN_PROFILE          truthy → enable the phase profiler
+  ///   WLAN_FLIGHT           truthy → frame flight recorder; any other
+  ///                         non-empty value doubles as its export prefix
+  ///   WLAN_FLIGHT_BUFFER    flight events per node (default 2048)
+  ///   WLAN_FLIGHT_FRAMES    completed-frame table capacity (default 65536)
   static std::unique_ptr<SimObs> from_env();
 
   /// Process-wide test override for WLAN_TRACE, mirroring the established
@@ -148,6 +160,12 @@ struct SimObs {
   /// (all categories, in-memory only — never auto-exports). Lets the TSan
   /// sweep test flip tracing without touching the environment.
   static void set_trace_override(int value);
+
+  /// Same override for WLAN_FLIGHT: -1 follow env, 0 force off, 1 force on
+  /// (in-memory only — never auto-exports). Used by the byte-identity and
+  /// auditor tests to attach flight recorders to every simulator a
+  /// run_scenario/run_sweep call constructs.
+  static void set_flight_override(int value);
 
   /// True when WLAN_PROFILE (or an attached profiler) would be enabled —
   /// used by run_sweep to decide whether to print shard reports.
@@ -182,5 +200,23 @@ struct TraceCapture {
 #else
 #define WLAN_OBS_POINT(sim, cat, event, node, a, b) \
   do {                                              \
+  } while (0)
+#endif
+
+// The flight-recorder hook macro. `call` is a FlightRecorder member call
+// (e.g. on_ack(now_ns, node)); like WLAN_OBS_POINT its arguments are only
+// evaluated when a recorder is attached, and the whole hook compiles out
+// under -DWLAN_OBS_TRACE=OFF. Use sites include obs/flight.hpp for the
+// complete FlightRecorder type.
+#ifndef WLAN_OBS_NO_TRACE
+#define WLAN_OBS_FLIGHT(sim, call)                                  \
+  do {                                                              \
+    ::wlan::obs::SimObs* wlan_obs_f_ = (sim).obs();                 \
+    if (wlan_obs_f_ != nullptr && wlan_obs_f_->flight != nullptr)   \
+      wlan_obs_f_->flight->call;                                    \
+  } while (0)
+#else
+#define WLAN_OBS_FLIGHT(sim, call) \
+  do {                             \
   } while (0)
 #endif

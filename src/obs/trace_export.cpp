@@ -5,6 +5,7 @@
 #include <fstream>
 #include <set>
 
+#include "obs/flight.hpp"
 #include "util/env.hpp"
 
 namespace wlan::obs {
@@ -74,13 +75,39 @@ bool write_chrome_trace(const std::vector<TraceRecord>& records,
   return static_cast<bool>(f);
 }
 
-void export_on_destruction(SimObs& obs) {
-  if (obs.export_path.empty() || obs.trace.size() == 0) return;
-  static std::atomic<int> g_exports{0};
+namespace {
+
+int export_limit() {
   static const int limit =
       static_cast<int>(util::env_int("WLAN_TRACE_EXPORTS", 8));
+  return limit;
+}
+
+void maybe_export_flight(SimObs& obs) {
+  if (obs.flight == nullptr || obs.flight->export_path.empty()) return;
+  const FlightRecorder& fr = *obs.flight;
+  if (fr.totals().frames_enqueued == 0 && fr.totals().frames_saturated == 0)
+    return;
+  static std::atomic<int> g_flight_exports{0};
+  const int n = g_flight_exports.fetch_add(1, std::memory_order_relaxed);
+  if (n >= export_limit()) return;
+  char suffix[48];
+  std::snprintf(suffix, sizeof(suffix), "%d.flight.json", n);
+  if (std::ofstream f(fr.export_path + suffix, std::ios::binary); f)
+    f << fr.chrome_json();
+  std::snprintf(suffix, sizeof(suffix), "%d.flight.csv", n);
+  if (std::ofstream f(fr.export_path + suffix, std::ios::binary); f)
+    f << fr.frames_csv();
+}
+
+}  // namespace
+
+void export_on_destruction(SimObs& obs) {
+  maybe_export_flight(obs);
+  if (obs.export_path.empty() || obs.trace.size() == 0) return;
+  static std::atomic<int> g_exports{0};
   const int n = g_exports.fetch_add(1, std::memory_order_relaxed);
-  if (n >= limit) return;
+  if (n >= export_limit()) return;
   char suffix[48];
   std::snprintf(suffix, sizeof(suffix), "%d.trace.json", n);
   write_chrome_trace(obs.trace.snapshot(), obs.export_path + suffix);

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "topology/spatial_grid.hpp"
 #include "util/env.hpp"
@@ -250,6 +251,22 @@ void Medium::finalize() {
   corrupt_.assign(n * words_per_tx_, 0);
   scratch_corrupt_.assign(words_per_tx_, 0);
   active_.reserve(n);
+
+  airtime_epoch_ = sim_.now();
+  busy_ns_.assign(n, 0);
+  idle_ns_.assign(n, 0);
+  last_sense_change_.assign(n, airtime_epoch_);
+}
+
+Medium::NodeAirtime Medium::node_airtime(NodeId n, sim::Time now) const {
+  const auto i = static_cast<std::size_t>(n);
+  NodeAirtime a{busy_ns_[i], idle_ns_[i]};
+  const std::int64_t open = (now - last_sense_change_[i]).ns();
+  if (sensed_count_[i] > 0)
+    a.busy_ns += open;
+  else
+    a.idle_ns += open;
+  return a;
 }
 
 bool Medium::is_busy_for(NodeId n) const {
@@ -363,6 +380,8 @@ void Medium::start_transmission(NodeId src, const Frame& frame,
                  obs::pack_frame_detail(static_cast<unsigned>(frame.kind),
                                         frame.dst, frame.seq),
                  airtime.ns());
+  if (frame.kind == FrameKind::kData)
+    WLAN_OBS_FLIGHT(sim_, on_air(start.ns(), src, airtime.ns()));
 
   // Reuse this node's pooled slot: overwrite the previous occupant in
   // place and reset its corruption marks.
@@ -418,7 +437,11 @@ void Medium::start_transmission(NodeId src, const Frame& frame,
     const NodeId* e = row_end(aud_off_, aud_ids_, src);
     for (const NodeId* p = row_begin(aud_off_, aud_ids_, src); p != e; ++p) {
       const auto o = static_cast<std::size_t>(*p);
-      if (++sensed_count_[o] == 1) clients_[o]->on_channel_busy(start);
+      if (++sensed_count_[o] == 1) {
+        idle_ns_[o] += (start - last_sense_change_[o]).ns();
+        last_sense_change_[o] = start;
+        clients_[o]->on_channel_busy(start);
+      }
     }
   }
   // The flag is only meaningful inside the synchronous busy cascade above;
@@ -443,6 +466,7 @@ void Medium::end_transmission(NodeId src, std::uint64_t tx_id) {
   tx.id = 0;
 
   transmitting_[si] = 0;
+  ++tx_ended_;
 
   const sim::Time now = sim_.now();
 
@@ -471,6 +495,8 @@ void Medium::end_transmission(NodeId src, std::uint64_t tx_id) {
                      obs::pack_frame_detail(static_cast<unsigned>(frame.kind),
                                             frame.dst, frame.seq),
                      clean);
+      if (frame.kind == FrameKind::kData && *p == frame.dst)
+        WLAN_OBS_FLIGHT(sim_, on_verdict(now.ns(), frame.src, clean));
       clients_[r]->on_frame_received(frame, clean, now);
     }
   }
@@ -479,7 +505,11 @@ void Medium::end_transmission(NodeId src, std::uint64_t tx_id) {
   for (const NodeId* p = row_begin(aud_off_, aud_ids_, src); p != e; ++p) {
     const auto o = static_cast<std::size_t>(*p);
     assert(sensed_count_[o] > 0);
-    if (--sensed_count_[o] == 0) clients_[o]->on_channel_idle(now);
+    if (--sensed_count_[o] == 0) {
+      busy_ns_[o] += (now - last_sense_change_[o]).ns();
+      last_sense_change_[o] = now;
+      clients_[o]->on_channel_idle(now);
+    }
   }
 }
 

@@ -130,6 +130,7 @@ class Medium {
 
   /// Lifetime counters (for stats and micro-benchmarks).
   std::uint64_t transmissions_started() const { return tx_started_; }
+  std::uint64_t transmissions_ended() const { return tx_ended_; }
   std::uint64_t corrupt_deliveries() const { return corrupt_deliveries_; }
   /// (new tx, in-flight tx) candidate pairs examined by interference
   /// marking — the quantity the incremental path shrinks.
@@ -153,6 +154,33 @@ class Medium {
   bool has_peer_index() const { return peers_built_; }
   /// Interference peers of `s` (ascending); empty when no index was built.
   std::vector<NodeId> interference_peers(NodeId s) const;
+
+  // --- auditor read-side (obs/audit.hpp). Pure accessors plus per-node
+  // busy/idle integrals maintained at the 0<->1 sensed transitions the
+  // carrier-sense cascade already pays for — no new events, no behaviour.
+
+  /// Sources currently in flight (unordered, swap-removed).
+  const std::vector<NodeId>& active_transmission_sources() const {
+    return active_;
+  }
+  /// Number of in-flight transmissions node `n` currently senses
+  /// (excluding its own).
+  std::int32_t sensed_count(NodeId n) const {
+    return sensed_count_[static_cast<std::size_t>(n)];
+  }
+
+  /// Closed per-node airtime split since finalize(). The conservation law
+  /// (obs::AuditSet): busy_ns + idle_ns == now - epoch for every node; IFS
+  /// gaps count as idle (the medium knows carrier, not MAC timers).
+  struct NodeAirtime {
+    std::int64_t busy_ns = 0;
+    std::int64_t idle_ns = 0;
+  };
+  /// The split at `now`, with the open interval since the last sensed
+  /// transition attributed to the current state (no mutation).
+  NodeAirtime node_airtime(NodeId n, sim::Time now) const;
+  /// The instant finalize() started the integrals.
+  sim::Time airtime_epoch() const { return airtime_epoch_; }
 
  private:
   /// Per-source transmission slot. A node has at most one frame in flight
@@ -211,6 +239,11 @@ class Medium {
   std::vector<MediumClient*> clients_;
   std::vector<std::int32_t> sensed_count_;  // audible active tx (not own)
   std::vector<std::uint8_t> transmitting_;
+  // Per-node airtime integrals (see node_airtime); sized at finalize().
+  std::vector<std::int64_t> busy_ns_;
+  std::vector<std::int64_t> idle_ns_;
+  std::vector<sim::Time> last_sense_change_;
+  sim::Time airtime_epoch_ = sim::Time::zero();
 
   // Adjacency in CSR form, rows ascending (identical iteration order to the
   // per-node vectors this replaced — callback order is behaviour).
@@ -244,6 +277,7 @@ class Medium {
   bool last_start_slot_committed_ = false;
   std::uint64_t next_tx_id_ = 1;
   std::uint64_t tx_started_ = 0;
+  std::uint64_t tx_ended_ = 0;
   std::uint64_t corrupt_deliveries_ = 0;
   std::uint64_t pairs_scanned_ = 0;
   std::uint64_t interference_checks_ = 0;

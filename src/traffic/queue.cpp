@@ -19,8 +19,10 @@ void PacketQueue::account(sim::Time now) {
 
 bool PacketQueue::push(sim::Time now) {
   ++arrivals_;
+  ++lifetime_arrivals_;
   if (size_ == buffer_.size()) {
     ++drops_;
+    ++lifetime_drops_;
     return false;
   }
   account(now);
@@ -36,6 +38,7 @@ const Packet& PacketQueue::front() const {
 
 void PacketQueue::pop(sim::Time now) {
   assert(size_ > 0 && "pop() on an empty PacketQueue");
+  ++lifetime_pops_;
   account(now);
   head_ = (head_ + 1) % buffer_.size();
   --size_;

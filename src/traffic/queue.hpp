@@ -44,6 +44,12 @@ class PacketQueue {
   std::uint64_t arrivals() const { return arrivals_; }
   std::uint64_t drops() const { return drops_; }
 
+  /// Lifetime counters, never reset — the auditors' conservation law is
+  /// lifetime_arrivals == lifetime_drops + lifetime_pops + size().
+  std::uint64_t lifetime_arrivals() const { return lifetime_arrivals_; }
+  std::uint64_t lifetime_drops() const { return lifetime_drops_; }
+  std::uint64_t lifetime_pops() const { return lifetime_pops_; }
+
   /// Fraction of arrivals dropped; 0 when nothing arrived.
   double drop_rate() const;
 
@@ -63,6 +69,9 @@ class PacketQueue {
   std::size_t size_ = 0;
   std::uint64_t arrivals_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t lifetime_arrivals_ = 0;
+  std::uint64_t lifetime_drops_ = 0;
+  std::uint64_t lifetime_pops_ = 0;
   sim::Time stats_start_ = sim::Time::zero();
   sim::Time last_change_ = sim::Time::zero();
   /// Integral of size over time, in packet-nanoseconds.

@@ -1,0 +1,302 @@
+// Tests for the frame-lifecycle flight recorder (src/obs/flight.hpp):
+// unit-level span-chain accounting on a hand-driven recorder, the
+// integration path through run_scenario (flight.* metrics), and the
+// acceptance bar shared with the rest of obs/ — a run with the recorder
+// attached is bit-identical to one without.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
+#include "util/fnv.hpp"
+
+namespace {
+
+using namespace wlan;
+using exp::ScenarioConfig;
+using exp::SchemeConfig;
+
+/// Restores the process-wide flight override on scope exit.
+struct FlightOverrideGuard {
+  explicit FlightOverrideGuard(int v) { obs::SimObs::set_flight_override(v); }
+  ~FlightOverrideGuard() { obs::SimObs::set_flight_override(-1); }
+};
+
+// ------------------------------------------------------- span accounting
+
+TEST(Flight, PackAttemptDetailKeepsFieldsSeparate) {
+  const std::uint64_t d = obs::pack_attempt_detail(/*slots=*/0xABCDEF,
+                                                   /*cohort=*/0x123456);
+  EXPECT_EQ(d & 0xFFFFFFFFu, 0xABCDEFu);
+  EXPECT_EQ(d >> 32, 0x123456u);
+}
+
+TEST(Flight, TrafficFrameFullLifecycle) {
+  obs::FlightRecorder fr;
+  // enqueue at t=0 -> contention at t=100 -> attempt after 7 slots at
+  // t=500 -> on air 200ns -> clean verdict -> ACK at t=1000.
+  fr.on_enqueue(0, /*node=*/3, /*queue_size=*/1, /*accepted=*/true);
+  fr.on_contention(100, 3, /*slots_consumed=*/10);
+  fr.on_attempt(500, 3, /*slots_consumed=*/17, /*cohort_id=*/0);
+  fr.on_air(500, 3, /*air_ns=*/200);
+  fr.on_verdict(700, 3, /*clean=*/true);
+  fr.on_ack(1000, 3);
+
+  const obs::FlightTotals& t = fr.totals();
+  EXPECT_EQ(t.frames_enqueued, 1u);
+  EXPECT_EQ(t.frames_saturated, 0u);
+  EXPECT_EQ(t.frames_completed, 1u);
+  EXPECT_EQ(t.frames_dropped, 0u);
+  EXPECT_EQ(t.attempts, 1u);
+  EXPECT_EQ(t.timeouts, 0u);
+  EXPECT_EQ(t.slots_waited, 7u);  // delta from the contention-entry mark
+  EXPECT_EQ(t.air_ns, 200);
+  EXPECT_EQ(t.queue_ns, 100);              // enqueue -> first contention
+  EXPECT_EQ(t.contention_ns, 1000 - 100 - 200);  // span minus airtime
+
+  const std::vector<obs::FrameStat> frames = fr.completed_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].frame, 1u);
+  EXPECT_EQ(frames[0].node, 3u);
+  EXPECT_EQ(frames[0].enqueue_ns, 0);
+  EXPECT_EQ(frames[0].contention_ns, 100);
+  EXPECT_EQ(frames[0].complete_ns, 1000);
+  EXPECT_EQ(frames[0].attempts, 1u);
+  EXPECT_FALSE(frames[0].dropped);
+  EXPECT_EQ(fr.attempts_per_success(), 1.0);
+}
+
+TEST(Flight, RetryAfterTimeoutAccumulatesOnSameFrame) {
+  obs::FlightRecorder fr;
+  fr.on_enqueue(0, 1, 1, true);
+  fr.on_contention(10, 1, 0);
+  fr.on_attempt(100, 1, 5, /*cohort_id=*/42);  // 5 slots waited
+  fr.on_air(100, 1, 50);
+  fr.on_verdict(150, 1, /*clean=*/false);      // collision at the receiver
+  fr.on_timeout(300, 1);
+  fr.on_attempt(600, 1, 14, 42);               // 9 more slots
+  fr.on_air(600, 1, 50);
+  fr.on_verdict(650, 1, true);
+  fr.on_ack(800, 1);
+
+  const obs::FlightTotals& t = fr.totals();
+  EXPECT_EQ(t.frames_completed, 1u);
+  EXPECT_EQ(t.attempts, 2u);
+  EXPECT_EQ(t.timeouts, 1u);
+  EXPECT_EQ(t.verdicts_corrupt, 1u);
+  EXPECT_EQ(t.slots_waited, 14u);
+  EXPECT_EQ(t.air_ns, 100);
+  EXPECT_EQ(fr.attempts_per_success(), 2.0);
+}
+
+TEST(Flight, TailDropClosesFrameImmediately) {
+  obs::FlightRecorder fr;
+  fr.on_enqueue(0, 2, 1, true);
+  fr.on_enqueue(50, 2, 1, /*accepted=*/false);  // queue full: tail drop
+  const obs::FlightTotals& t = fr.totals();
+  EXPECT_EQ(t.frames_enqueued, 1u);  // only the accepted push counts
+  EXPECT_EQ(t.frames_dropped, 1u);
+  EXPECT_EQ(t.frames_completed, 0u);
+  // The drop landed in the per-node event ring with its own FrameId.
+  const std::vector<obs::FlightEvent> evs = fr.node_events(2);
+  ASSERT_GE(evs.size(), 2u);
+  EXPECT_EQ(evs.back().kind, obs::fev::kDrop);
+  EXPECT_NE(evs.back().frame, evs.front().frame);
+}
+
+TEST(Flight, SaturatedStationMintsAtContentionEntry) {
+  obs::FlightRecorder fr;
+  // No enqueue ever happens: the station is backlogged. The first
+  // contention entry mints the FrameId; the ACK closes it; the next
+  // contention entry mints the next.
+  fr.on_contention(10, 0, 0);
+  fr.on_attempt(50, 0, 3, 0);
+  fr.on_air(50, 0, 20);
+  fr.on_ack(100, 0);
+  fr.on_contention(150, 0, 3);
+  fr.on_attempt(200, 0, 8, 0);
+  fr.on_air(200, 0, 20);
+  fr.on_ack(260, 0);
+
+  const obs::FlightTotals& t = fr.totals();
+  EXPECT_EQ(t.frames_saturated, 2u);
+  EXPECT_EQ(t.frames_enqueued, 0u);
+  EXPECT_EQ(t.frames_completed, 2u);
+  EXPECT_EQ(t.queue_ns, 0);  // no queue residency without an enqueue
+  const std::vector<obs::FrameStat> frames = fr.completed_frames();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].enqueue_ns, -1);
+  EXPECT_NE(frames[0].frame, frames[1].frame);
+}
+
+TEST(Flight, ReContentionAfterBusyDoesNotReopenSpan) {
+  obs::FlightRecorder fr;
+  fr.on_contention(10, 0, 0);
+  fr.on_contention(400, 0, 2);  // medium went busy, wait restarted
+  fr.on_attempt(500, 0, 6, 0);
+  fr.on_air(500, 0, 20);
+  fr.on_ack(600, 0);
+  const std::vector<obs::FrameStat> frames = fr.completed_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].contention_ns, 10);  // first entry won
+  EXPECT_EQ(frames[0].slots_waited, 6u);   // delta from the FIRST mark
+}
+
+TEST(Flight, ExcerptNamesFrameIds) {
+  obs::FlightRecorder fr;
+  fr.on_enqueue(0, 5, 1, true);
+  fr.on_contention(10, 5, 0);
+  const std::string ex = fr.excerpt(5);
+  EXPECT_NE(ex.find("node 5"), std::string::npos);
+  EXPECT_NE(ex.find("frame=1"), std::string::npos);
+  EXPECT_NE(ex.find("enqueue"), std::string::npos);
+  // A node with no records says so instead of fabricating history.
+  EXPECT_NE(fr.excerpt(9).find("no flight records"), std::string::npos);
+}
+
+TEST(Flight, RingOverwritesOldestAndCountsDrops) {
+  obs::FlightRecorder fr(/*ring_capacity=*/4, /*frames_capacity=*/2);
+  for (int i = 0; i < 6; ++i) {
+    fr.on_contention(i * 100, 0, static_cast<std::uint64_t>(i));
+    fr.on_ack(i * 100 + 50, 0);
+  }
+  // 12 records pushed through a 4-slot ring: only the newest 4 survive.
+  const std::vector<obs::FlightEvent> evs = fr.node_events(0);
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs.front().time_ns, 400);
+  // Totals still see every frame; the FrameStat table kept the last 2.
+  EXPECT_EQ(fr.totals().frames_completed, 6u);
+  EXPECT_EQ(fr.completed_frames().size(), 2u);
+  EXPECT_EQ(fr.completed_dropped(), 4u);
+}
+
+TEST(Flight, CsvAndChromeJsonExports) {
+  obs::FlightRecorder fr;
+  fr.on_enqueue(0, 1, 1, true);
+  fr.on_contention(100, 1, 0);
+  fr.on_attempt(500, 1, 7, 3);
+  fr.on_air(500, 1, 200);
+  fr.on_ack(1000, 1);
+
+  const std::string csv = fr.frames_csv();
+  EXPECT_NE(csv.find("frame,node,enqueue_us"), std::string::npos);
+  EXPECT_NE(csv.find(",ack\n"), std::string::npos);
+
+  const std::string json = fr.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_EQ(json.find("NaN"), std::string::npos);
+}
+
+// ------------------------------------------------------ integration path
+
+exp::RunOptions quick_series_options() {
+  exp::RunOptions opts;
+  opts.warmup = sim::Duration::seconds(0.1);
+  opts.measure = sim::Duration::seconds(0.3);
+  opts.sample_period = sim::Duration::seconds(0.05);
+  opts.record_series = true;  // bypasses the run cache
+  return opts;
+}
+
+TEST(Flight, RunScenarioExportsFlightMetricsSaturated) {
+  FlightOverrideGuard guard(1);
+  const auto r = exp::run_scenario(ScenarioConfig::connected(6, 1),
+                                   SchemeConfig::standard(),
+                                   quick_series_options());
+  EXPECT_GT(r.metrics.get("flight.frames_saturated", 0.0), 0.0);
+  EXPECT_EQ(r.metrics.get("flight.frames_enqueued", -1.0), 0.0);
+  const double completed = r.metrics.get("flight.frames_completed", 0.0);
+  const double attempts = r.metrics.get("flight.attempts", 0.0);
+  EXPECT_GT(completed, 0.0);
+  EXPECT_GE(attempts, completed);  // every success needed >= 1 attempt
+  EXPECT_GE(r.metrics.get("flight.attempts_per_success", 0.0), 1.0);
+}
+
+TEST(Flight, RunScenarioExportsFlightMetricsTraffic) {
+  FlightOverrideGuard guard(1);
+  auto scenario = ScenarioConfig::connected(6, 2);
+  scenario.traffic = traffic::TrafficConfig::poisson(1.0);
+  const auto r = exp::run_scenario(scenario, SchemeConfig::standard(),
+                                   quick_series_options());
+  EXPECT_GT(r.metrics.get("flight.frames_enqueued", 0.0), 0.0);
+  EXPECT_GT(r.metrics.get("flight.frames_completed", 0.0), 0.0);
+  EXPECT_GT(r.metrics.get("flight.queue_ns", -1.0), 0.0);
+}
+
+TEST(Flight, MetricsAbsentWhenRecorderOff) {
+  FlightOverrideGuard guard(0);
+  const auto r = exp::run_scenario(ScenarioConfig::connected(6, 1),
+                                   SchemeConfig::standard(),
+                                   quick_series_options());
+  EXPECT_FALSE(r.metrics.contains("flight.frames_completed"));
+}
+
+// ------------------------------------------------- zero-perturbation bar
+
+void hash_series(const stats::TimeSeries& s, util::Fnv1a& h) {
+  for (const auto& sample : s.samples()) {
+    h.mix_double_word(sample.t_seconds);
+    h.mix_double_word(sample.value);
+  }
+}
+
+std::uint64_t hash_run(const exp::RunResult& r) {
+  util::Fnv1a h;
+  hash_series(r.throughput_series, h);
+  hash_series(r.control_series, h);
+  h.mix_double_word(r.total_mbps);
+  for (double v : r.per_station_mbps) h.mix_double_word(v);
+  h.mix_double_word(static_cast<double>(r.successes));
+  h.mix_double_word(static_cast<double>(r.failures));
+  h.mix_double_word(r.mean_delay_s);
+  h.mix_double_word(r.drop_rate);
+  return h.digest();
+}
+
+TEST(FlightIdentity, RecorderChangesNothing) {
+  const exp::RunOptions opts = quick_series_options();
+  for (const auto& scenario :
+       {ScenarioConfig::connected(8, 2), ScenarioConfig::hidden(8, 16.0, 3)}) {
+    for (const auto& scheme :
+         {SchemeConfig::standard(), SchemeConfig::wtop_csma()}) {
+      std::uint64_t off_hash, on_hash;
+      {
+        FlightOverrideGuard off(0);
+        off_hash = hash_run(exp::run_scenario(scenario, scheme, opts));
+      }
+      {
+        FlightOverrideGuard on(1);
+        const auto r = exp::run_scenario(scenario, scheme, opts);
+        on_hash = hash_run(r);
+        EXPECT_GT(r.metrics.get("flight.frames_completed", 0.0), 0.0);
+      }
+      EXPECT_EQ(off_hash, on_hash)
+          << scheme.name() << ": flight recorder must not perturb the run";
+    }
+  }
+}
+
+TEST(FlightIdentity, RecorderChangesNothingWithTraffic) {
+  auto scenario = ScenarioConfig::connected(6, 2);
+  scenario.traffic = traffic::TrafficConfig::poisson(1.0);
+  const exp::RunOptions opts = quick_series_options();
+  std::uint64_t off_hash, on_hash;
+  {
+    FlightOverrideGuard off(0);
+    off_hash = hash_run(exp::run_scenario(scenario, SchemeConfig::standard(), opts));
+  }
+  {
+    FlightOverrideGuard on(1);
+    on_hash = hash_run(exp::run_scenario(scenario, SchemeConfig::standard(), opts));
+  }
+  EXPECT_EQ(off_hash, on_hash);
+}
+
+}  // namespace

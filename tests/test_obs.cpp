@@ -18,6 +18,7 @@
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
 #include "obs/category.hpp"
+#include "obs/collect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_diff.hpp"
@@ -424,6 +425,45 @@ TEST(ObsSweepTraced, ForcedTracingUnderThreadPoolStaysBitIdentical) {
               traced.points[i].averaged.mean_idle_slots)
         << "point " << i;
   }
+}
+
+// ---------------------------------------------- sweep-fold determinism
+
+/// Restores the process-wide flight override on scope exit.
+struct FlightOverrideGuard {
+  explicit FlightOverrideGuard(int v) { obs::SimObs::set_flight_override(v); }
+  ~FlightOverrideGuard() { obs::SimObs::set_flight_override(-1); }
+};
+
+TEST(ObsSweepMetrics, FoldedMetricsExactlyEqualAtAnyThreadCount) {
+  // The sweep-level metrics fold runs serially in job-index order after
+  // the barrier, so its totals — including the folded flight.* spans —
+  // must be EXACTLY equal (bit-equal doubles) at 1 and 4 lanes.
+  FlightOverrideGuard flight(1);
+  exp::SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::connected(5, 1),
+                    ScenarioConfig::hidden(5, 16.0, 2)};
+  spec.schemes = {SchemeConfig::standard(), SchemeConfig::wtop_csma()};
+  spec.seeds = 2;
+  spec.options.warmup = sim::Duration::seconds(0.05);
+  spec.options.measure = sim::Duration::seconds(0.2);
+
+  par::ThreadPool serial(1), wide(4);
+  const exp::SweepResult a = exp::run_sweep(spec, &serial);
+  const exp::SweepResult b = exp::run_sweep(spec, &wide);
+
+  // The flight fold actually observed the runs.
+  EXPECT_GT(a.metrics.get("flight.frames_completed", 0.0), 0.0);
+  EXPECT_GT(a.metrics.get("flight.attempts_per_success", 0.0), 0.0);
+  // Same names, same values, same order — modulo the process-cumulative
+  // families, which are snapshots and legitimately advance between calls.
+  std::size_t compared = 0;
+  for (const auto& [name, value] : a.metrics.entries()) {
+    if (obs::is_process_cumulative_metric(name)) continue;
+    EXPECT_EQ(b.metrics.get(name, -1.0), value) << name;
+    ++compared;
+  }
+  EXPECT_GT(compared, 8u);
 }
 
 }  // namespace

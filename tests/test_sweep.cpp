@@ -1,12 +1,18 @@
 // Tests of the declarative sweep engine: grid expansion order, param
-// binding, result indexing, and the core guarantee that a parallel
-// run_sweep is bit-identical to the serial seed loop it replaced.
+// binding, result indexing, the core guarantee that a parallel run_sweep
+// is bit-identical to the serial seed loop it replaced, the sweep-level
+// metrics fold, retry-path no-double-count accounting, and the live
+// progress tracker.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "exp/fault.hpp"
+#include "exp/progress.hpp"
 #include "exp/sweep.hpp"
+#include "obs/collect.hpp"
 #include "par/thread_pool.hpp"
 
 namespace {
@@ -223,6 +229,165 @@ TEST(Sweep, FailedJobDoesNotPoisonTheOtherJobs) {
   EXPECT_EQ(result.errors[0].point_index, 1u);
   EXPECT_GT(result.at(0, 0, 0).averaged.mean_mbps, 0.0);
   EXPECT_DOUBLE_EQ(result.at(0, 0, 1).averaged.mean_mbps, 0.0);
+}
+
+// --------------------------------------------------- sweep metrics fold
+
+TEST(SweepMetrics, FoldCarriesRunTotalsAndJobCounters) {
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::connected(4, 1)};
+  spec.schemes = {SchemeConfig::standard()};
+  spec.seeds = 3;
+  spec.options = quick_options();
+  const SweepResult result = run_sweep(spec);
+
+  EXPECT_EQ(result.metrics.get("sweep.jobs_total", -1.0), 3.0);
+  EXPECT_EQ(result.metrics.get("sweep.jobs_replayed", -1.0), 0.0);
+  EXPECT_EQ(result.metrics.get("sweep.jobs_failed", -1.0), 0.0);
+
+  // The fold is the job-index-order sum of the per-run registries.
+  double expected_events = 0.0;
+  for (const RunResult& r : result.points[0].runs)
+    expected_events += r.metrics.get("sim.events_executed", 0.0);
+  EXPECT_EQ(result.metrics.get("sim.events_executed", -1.0), expected_events);
+
+  // Process-cumulative families are snapshots, not per-job sums.
+  EXPECT_TRUE(result.metrics.contains("cache.hits"));
+  EXPECT_TRUE(result.metrics.contains("exp.fault.job_failures"));
+}
+
+TEST(SweepMetrics, TransientFaultDoesNotDoubleCountMetrics) {
+  // Regression for the retry path: a job whose first attempt throws (and
+  // whose retry then succeeds) must contribute its metrics exactly once —
+  // the folded totals and the science output must equal a fault-free
+  // sweep's, with nothing landing in SweepResult::errors.
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::connected(4, 1)};
+  spec.schemes = {SchemeConfig::standard()};
+  spec.seeds = 3;
+  spec.options = quick_options();
+  spec.job_retries = 2;
+  spec.job_backoff_ms = 0;
+
+  par::ThreadPool pool(2);
+  const SweepResult clean = run_sweep(spec, &pool);
+
+  FaultPlan plan;
+  plan.sites.push_back({/*job_index=*/1, FaultPlan::Action::kThrow,
+                        /*times=*/1});
+  SweepResult faulted;
+  {
+    wlan::exp::testing::FaultPlanGuard guard(plan);
+    faulted = run_sweep(spec, &pool);
+  }
+
+  EXPECT_TRUE(faulted.ok());
+  EXPECT_DOUBLE_EQ(faulted.points[0].averaged.mean_mbps,
+                   clean.points[0].averaged.mean_mbps);
+  // Every per-run (non-process-cumulative) folded total matches exactly.
+  for (const auto& [name, value] : clean.metrics.entries()) {
+    if (obs::is_process_cumulative_metric(name)) continue;
+    EXPECT_EQ(faulted.metrics.get(name, -1.0), value) << name;
+  }
+}
+
+TEST(SweepMetrics, TransientTimeoutDoesNotDoubleCountMetrics) {
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::connected(4, 1)};
+  spec.schemes = {SchemeConfig::standard()};
+  spec.seeds = 2;
+  spec.options = quick_options();
+  spec.job_retries = 1;
+  spec.job_backoff_ms = 0;
+
+  const SweepResult clean = run_sweep(spec);
+
+  FaultPlan plan;
+  plan.sites.push_back({/*job_index=*/0, FaultPlan::Action::kTimeout,
+                        /*times=*/1});
+  SweepResult faulted;
+  {
+    wlan::exp::testing::FaultPlanGuard guard(plan);
+    faulted = run_sweep(spec);
+  }
+
+  EXPECT_TRUE(faulted.ok());
+  for (const auto& [name, value] : clean.metrics.entries()) {
+    if (obs::is_process_cumulative_metric(name)) continue;
+    EXPECT_EQ(faulted.metrics.get(name, -1.0), value) << name;
+  }
+}
+
+TEST(SweepMetrics, FailedJobCountsOnceInJobsFailed) {
+  SweepSpec spec;
+  spec.scenarios = {ScenarioConfig::connected(3, 1)};
+  spec.schemes = {SchemeConfig::standard()};
+  spec.params = {0.5};
+  spec.bind = [](double, ScenarioConfig& sc, SchemeConfig&) {
+    sc.num_stations = -1;
+  };
+  spec.options = quick_options();
+  spec.job_retries = 2;
+  spec.job_backoff_ms = 0;
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.errors.size(), 1u);
+  // Three attempts, ONE failure: retries must not inflate the count the
+  // sweep-accounting audit reconciles against errors.size().
+  EXPECT_EQ(result.metrics.get("sweep.jobs_failed", -1.0), 1.0);
+}
+
+// ------------------------------------------------------ progress tracker
+
+TEST(Progress, SnapshotArithmetic) {
+  exp::ProgressTracker tracker(/*total=*/10, /*replayed=*/4);
+  auto snap = tracker.snapshot();
+  EXPECT_EQ(snap.total, 10u);
+  EXPECT_EQ(snap.done, 4u);  // replayed jobs count as done up front
+  EXPECT_EQ(snap.replayed, 4u);
+  EXPECT_EQ(snap.rate_jobs_per_s, 0.0);
+  EXPECT_EQ(snap.eta_s, 0.0);  // unknown rate -> no ETA claim
+
+  tracker.job_finished(/*wall_ms=*/1.0, /*failed=*/false);
+  tracker.job_finished(/*wall_ms=*/3.0, /*failed=*/true);
+  tracker.job_finished(/*wall_ms=*/500.0, /*failed=*/false);
+  snap = tracker.snapshot();
+  EXPECT_EQ(snap.done, 7u);
+  EXPECT_EQ(snap.failed, 1u);
+  EXPECT_GT(snap.rate_jobs_per_s, 0.0);
+  EXPECT_GT(snap.eta_s, 0.0);
+  // log2 ms buckets: 1.0 -> [0,2), 3.0 -> [2,4), 500 -> open-ended last.
+  EXPECT_EQ(snap.wall_hist_ms[0], 1u);
+  EXPECT_EQ(snap.wall_hist_ms[1], 1u);
+  EXPECT_EQ(snap.wall_hist_ms.back(), 1u);
+  std::uint64_t histogram_total = 0;
+  for (const std::uint64_t b : snap.wall_hist_ms) histogram_total += b;
+  EXPECT_EQ(histogram_total, 3u);
+}
+
+TEST(Progress, HeartbeatJsonCarriesEveryKey) {
+  exp::ProgressTracker tracker(5, 0);
+  tracker.job_finished(2.5, false);
+  const std::string doc =
+      exp::ProgressTracker::heartbeat_json(tracker.snapshot());
+  for (const char* key :
+       {"\"total\"", "\"done\"", "\"failed\"", "\"replayed\"", "\"retries\"",
+        "\"timeouts\"", "\"elapsed_seconds\"", "\"rate_jobs_per_s\"",
+        "\"eta_seconds\"", "\"cache_hits\"", "\"cache_misses\"",
+        "\"sweeps_completed\"", "\"wall_hist_ms\""})
+    EXPECT_NE(doc.find(key), std::string::npos) << key << " missing: " << doc;
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_EQ(doc.back(), '}');
+}
+
+TEST(Progress, SweepsCompletedAdvancesPerSweep) {
+  const std::uint64_t before = exp::sweeps_completed();
+  SweepSpec spec = SweepSpec::single(ScenarioConfig::connected(3, 1),
+                                     SchemeConfig::standard());
+  spec.options.warmup = sim::Duration::zero();
+  spec.options.measure = sim::Duration::seconds(0.2);
+  run_sweep(spec);
+  EXPECT_EQ(exp::sweeps_completed(), before + 1);
 }
 
 }  // namespace
