@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "exp/runner.hpp"
+#include "exp/shard.hpp"
 #include "exp/sweep.hpp"
 #include "par/thread_pool.hpp"
 #include "util/cli.hpp"
@@ -24,14 +25,21 @@
 
 namespace wlan::bench {
 
-/// Standard driver startup: parse flags (currently just `--threads N`),
-/// size the global pool before the first sweep builds it, and install the
-/// SIGINT/SIGTERM handlers that flush partial CSVs on interruption (the
-/// sweep journal itself needs no flushing — every entry is an atomic
-/// rename the moment its job completes).
+/// Standard driver startup: parse flags (currently `--threads N` plus the
+/// hidden `--wlan-shard=<dir>:<lo>:<hi>` the sweep-shard supervisor passes
+/// its children), size the global pool before the first sweep builds it,
+/// and install the SIGINT/SIGTERM handlers that flush partial CSVs on
+/// interruption (the sweep journal itself needs no flushing — every entry
+/// is an atomic rename the moment its job completes). Capturing argv here
+/// is what lets exp::run_sweep re-exec this driver as shard children when
+/// WLAN_SWEEP_PROCS asks for process isolation — every driver gets
+/// multi-process sweeps for free by calling init.
 inline util::Cli init(int argc, const char* const* argv) {
   util::Cli cli(argc, argv);
   util::install_shutdown_handlers();
+  exp::shard::capture_argv(argc, argv);
+  if (cli.has("wlan-shard"))
+    exp::shard::configure_child(cli.get_string("wlan-shard", ""));
   par::ThreadPool::configure_global(cli.threads(0));
   return cli;
 }

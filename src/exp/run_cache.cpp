@@ -6,14 +6,18 @@
 #include <unistd.h>
 #endif
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
+#include <set>
 #include <system_error>
 #include <vector>
 
+#include "util/env.hpp"
 #include "util/fnv.hpp"
 
 namespace wlan::exp::run_cache {
@@ -25,6 +29,7 @@ std::atomic<std::uint64_t> g_misses{0};
 std::atomic<std::uint64_t> g_stores{0};
 std::atomic<std::uint64_t> g_store_failures{0};
 std::atomic<std::uint64_t> g_quarantined{0};
+std::atomic<std::uint64_t> g_pruned{0};
 
 // ------------------------------------------------------------- key hashing
 
@@ -176,6 +181,16 @@ struct Reader {
     std::memcpy(&d, &bits, sizeof d);
     return d;
   }
+  std::string str(std::size_t len) {
+    if (buf.size() - pos < len) {
+      ok = false;
+      pos = buf.size();
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(buf.data()) + pos, len);
+    pos += len;
+    return s;
+  }
 };
 
 std::uint64_t checksum_of(const std::vector<unsigned char>& buf,
@@ -185,7 +200,8 @@ std::uint64_t checksum_of(const std::vector<unsigned char>& buf,
   return h.digest();
 }
 
-void write_result(Writer& w, std::uint64_t key, const RunResult& r) {
+void write_result(Writer& w, std::uint64_t key, const RunResult& r,
+                  const obs::MetricsRegistry* metrics) {
   w.u64((static_cast<std::uint64_t>(kFormatVersion) << 32) | kMagic);
   w.u64(key);
   w.f64(r.total_mbps);
@@ -218,6 +234,21 @@ void write_result(Writer& w, std::uint64_t key, const RunResult& r) {
     if (counts[b] != 0) {
       w.u64(b);
       w.u64(counts[b]);
+    }
+  }
+  // Metrics section (v3): count then (name-length, name bytes, value)
+  // tuples, insertion order preserved. The cache writes an empty section
+  // (hits stay metrics-free by contract); the sweep journal persists the
+  // deterministic per-run counters so replay == fresh run, registry
+  // included.
+  if (metrics == nullptr) {
+    w.u64(0);
+  } else {
+    w.u64(metrics->entries().size());
+    for (const obs::Metric& m : metrics->entries()) {
+      w.u64(m.name.size());
+      w.buf.insert(w.buf.end(), m.name.begin(), m.name.end());
+      w.f64(m.value);
     }
   }
 }
@@ -261,6 +292,16 @@ bool read_result(Reader& rd, std::uint64_t key, RunResult& out,
     if (!rd.ok || b >= buckets.size()) return false;
     buckets[b] = c;
   }
+  const std::uint64_t num_metrics = rd.u64();
+  if (!rd.ok || num_metrics > 1u << 16) return false;
+  for (std::uint64_t i = 0; i < num_metrics; ++i) {
+    const std::uint64_t name_len = rd.u64();
+    if (!rd.ok || name_len > 4096) return false;
+    const std::string name = rd.str(static_cast<std::size_t>(name_len));
+    const double value = rd.f64();
+    if (!rd.ok) return false;
+    r.metrics.set(name, value);
+  }
   // Trailing payload bytes => foreign/corrupt file.
   if (!rd.ok || rd.pos != payload_end) return false;
   r.delays.restore_raw(std::move(buckets), count, sum_ns, min_ns, max_ns);
@@ -282,6 +323,75 @@ std::string directory() {
   return dir == nullptr ? std::string() : std::string(dir);
 }
 
+std::uint64_t max_bytes_from_env() {
+  const std::int64_t mb =
+      std::max<std::int64_t>(0, util::env_int("WLAN_RUN_CACHE_MAX_MB", 0));
+  return static_cast<std::uint64_t>(mb) * 1024 * 1024;
+}
+
+std::size_t prune_dir(const std::string& dir, std::uint64_t max_bytes) {
+  namespace fs = std::filesystem;
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t size = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    if (!de.is_regular_file(ec)) continue;
+    if (de.path().extension() != ".run") continue;  // never temp/quarantine
+    Entry e;
+    e.path = de.path();
+    e.mtime = de.last_write_time(ec);
+    if (ec) continue;
+    e.size = de.file_size(ec);
+    if (ec) continue;
+    total += e.size;
+    entries.push_back(std::move(e));
+  }
+  if (total <= max_bytes) return 0;
+  // Oldest-first: the least recently written entries go before anything a
+  // recent run produced (store rewrites refresh an entry's position).
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  std::size_t removed = 0;
+  for (const Entry& e : entries) {
+    if (total <= max_bytes) break;
+    if (!fs::remove(e.path, ec) || ec) continue;
+    total -= e.size;
+    ++removed;
+  }
+  g_pruned.fetch_add(removed, std::memory_order_relaxed);
+  return removed;
+}
+
+namespace {
+
+/// Runs the WLAN_RUN_CACHE_MAX_MB prune once per process per directory —
+/// "at open", i.e. the first time the cache touches the directory. One
+/// pass bounds a previous invocation's leftovers; growth within this
+/// process is bounded again by the next process that opens the cache.
+void maybe_prune_once(const std::string& dir) {
+  const std::uint64_t max_bytes = max_bytes_from_env();
+  if (max_bytes == 0) return;
+  static std::mutex mu;
+  static std::set<std::string> seen;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!seen.insert(dir).second) return;
+  }
+  const std::size_t removed = prune_dir(dir, max_bytes);
+  if (removed > 0)
+    std::fprintf(stderr,
+                 "[run_cache] pruned %zu oldest entr%s from %s "
+                 "(WLAN_RUN_CACHE_MAX_MB bound)\n",
+                 removed, removed == 1 ? "y" : "ies", dir.c_str());
+}
+
+}  // namespace
+
 std::uint64_t key_hash(const ScenarioConfig& scenario,
                        const SchemeConfig& scheme,
                        const RunOptions& options) {
@@ -295,10 +405,11 @@ std::uint64_t key_hash(const ScenarioConfig& scenario,
 }
 
 std::vector<unsigned char> serialize_entry(std::uint64_t key,
-                                           const RunResult& result) {
+                                           const RunResult& result,
+                                           const obs::MetricsRegistry* metrics) {
   std::vector<unsigned char> buf;
   Writer w{buf};
-  write_result(w, key, result);
+  write_result(w, key, result, metrics);
   // Content checksum footer: FNV-1a over every payload byte. A torn write
   // that survives a crash (or bit rot) cannot both truncate/flip bytes and
   // keep the footer consistent.
@@ -334,7 +445,8 @@ EntryStatus read_entry_file(const std::string& path, std::uint64_t key,
 }
 
 bool write_entry_file(const std::string& path, std::uint64_t key,
-                      const RunResult& result) {
+                      const RunResult& result,
+                      const obs::MetricsRegistry* metrics) {
   // Unique temp name per process + store call, renamed into place so
   // concurrent drivers (and lanes within one) never observe a partial
   // file (rename within one directory is atomic on POSIX).
@@ -351,7 +463,7 @@ bool write_entry_file(const std::string& path, std::uint64_t key,
   const std::string tmp_path = path + suffix;
   std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) return false;
-  const std::vector<unsigned char> buf = serialize_entry(key, result);
+  const std::vector<unsigned char> buf = serialize_entry(key, result, metrics);
   const bool wrote = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
   const bool flushed = std::fclose(f) == 0 && wrote;
   std::error_code ec;
@@ -386,6 +498,7 @@ std::string quarantine_entry(const std::string& path) {
 }
 
 bool lookup(const std::string& dir, std::uint64_t key, RunResult& out) {
+  maybe_prune_once(dir);
   const std::string path = entry_path(dir, key).string();
   switch (read_entry_file(path, key, out)) {
     case EntryStatus::kOk:
@@ -406,6 +519,7 @@ bool store(const std::string& dir, std::uint64_t key,
            const RunResult& result) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+  maybe_prune_once(dir);
   const bool ok = write_entry_file(entry_path(dir, key).string(), key, result);
   (ok ? g_stores : g_store_failures).fetch_add(1, std::memory_order_relaxed);
   return ok;
@@ -418,6 +532,7 @@ Stats stats() {
   s.stores = g_stores.load(std::memory_order_relaxed);
   s.store_failures = g_store_failures.load(std::memory_order_relaxed);
   s.quarantined = g_quarantined.load(std::memory_order_relaxed);
+  s.pruned = g_pruned.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -427,6 +542,7 @@ void reset_stats() {
   g_stores = 0;
   g_store_failures = 0;
   g_quarantined = 0;
+  g_pruned = 0;
 }
 
 }  // namespace wlan::exp::run_cache

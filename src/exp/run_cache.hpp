@@ -55,11 +55,28 @@ namespace wlan::exp::run_cache {
 /// Bumped whenever the serialized RunResult layout or the key schema
 /// changes; readers reject other versions as misses.
 /// v2: FNV-1a content-checksum footer appended to every entry.
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// v3: optional metrics section (count + name/value pairs) after the delay
+///     histogram. Cache entries write an empty section (a hit stays
+///     documented as metrics-free); sweep-journal entries persist the
+///     deterministic per-run counters so a journal-merged sweep folds the
+///     same metric totals as an in-process one.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// The cache directory from $WLAN_RUN_CACHE; empty = disabled. Re-read on
 /// every call so tests (and long-lived tools) can retarget it.
 std::string directory();
+
+/// Size bound from $WLAN_RUN_CACHE_MAX_MB in bytes; 0 = unbounded
+/// (default). Exits(2) on a malformed value like the other strict knobs.
+std::uint64_t max_bytes_from_env();
+
+/// Prunes `dir` oldest-first (by last-write time) until its *.run entries
+/// total at most `max_bytes`. Returns the number of entries removed and
+/// adds them to Stats::pruned. Lookup/store run this once per process per
+/// directory when $WLAN_RUN_CACHE_MAX_MB is set; exposed for tests and
+/// tools. Only prunes cache entries — journal directories are resume
+/// state, not a cache, and are never touched.
+std::size_t prune_dir(const std::string& dir, std::uint64_t max_bytes);
 
 /// Content hash of a run's full identity (FNV-1a over a canonical field
 /// serialization; see the maintenance note above).
@@ -80,10 +97,13 @@ bool store(const std::string& dir, std::uint64_t key,
 // --- Entry format, shared with exp::sweep_journal -------------------------
 
 /// Serializes (key, result) into the versioned entry byte stream:
-/// magic+version header, key, scalar fields, sparse delay histogram, and a
-/// trailing FNV-1a checksum over everything before it.
-std::vector<unsigned char> serialize_entry(std::uint64_t key,
-                                           const RunResult& result);
+/// magic+version header, key, scalar fields, sparse delay histogram, a
+/// metrics section (`metrics` entries; empty section when null — the
+/// cache's choice), and a trailing FNV-1a checksum over everything before
+/// it.
+std::vector<unsigned char> serialize_entry(
+    std::uint64_t key, const RunResult& result,
+    const obs::MetricsRegistry* metrics = nullptr);
 
 /// Parse outcomes for an on-disk entry.
 enum class EntryStatus {
@@ -103,8 +123,10 @@ EntryStatus read_entry_file(const std::string& path, std::uint64_t key,
 
 /// Atomically writes an entry file (unique temp name + rename, so readers
 /// and a crash mid-write only ever observe complete entries or nothing).
+/// `metrics` (optional) is persisted as the entry's metrics section.
 bool write_entry_file(const std::string& path, std::uint64_t key,
-                      const RunResult& result);
+                      const RunResult& result,
+                      const obs::MetricsRegistry* metrics = nullptr);
 
 /// Renames a corrupt entry aside to `<path>.quarantined.<pid>` so it is
 /// preserved for inspection but never re-read. Returns the quarantine path
@@ -119,6 +141,8 @@ struct Stats {
   std::uint64_t store_failures = 0;
   /// Checksum-failing cache entries renamed aside and recomputed.
   std::uint64_t quarantined = 0;
+  /// Entries removed oldest-first by the WLAN_RUN_CACHE_MAX_MB bound.
+  std::uint64_t pruned = 0;
 };
 Stats stats();
 void reset_stats();

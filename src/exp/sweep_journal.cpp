@@ -7,6 +7,7 @@
 
 #include "exp/fault.hpp"
 #include "exp/run_cache.hpp"
+#include "obs/collect.hpp"
 #include "util/fnv.hpp"
 
 namespace wlan::exp::sweep_journal {
@@ -88,7 +89,16 @@ bool append(const std::string& sweep_dir, std::size_t job_index,
   std::error_code ec;
   std::filesystem::create_directories(sweep_dir, ec);
   const std::string path = entry_path(sweep_dir, job_index);
-  if (!run_cache::write_entry_file(path, key, result)) return false;
+  // Persist the run's deterministic metrics, minus the process-cumulative
+  // names (cache.*, exp.fault.*, profile.*): those depend on which process
+  // ran the job, and merge_run_metrics skips them anyway — storing only
+  // the per-run counters keeps a journal-replayed fold byte-identical to
+  // an in-process one regardless of shard layout.
+  obs::MetricsRegistry filtered;
+  for (const obs::Metric& m : result.metrics.entries())
+    if (!obs::is_process_cumulative_metric(m.name))
+      filtered.set(m.name, m.value);
+  if (!run_cache::write_entry_file(path, key, result, &filtered)) return false;
   fault_counters::add_journal_append();
   if (fault_injection::wants_journal_corruption(job_index))
     corrupt_in_place(path);

@@ -57,7 +57,9 @@ std::size_t replay(const std::string& sweep_dir,
                    const std::vector<std::uint64_t>& job_keys,
                    std::vector<RunResult>& results, std::vector<char>& done);
 
-/// Appends job `job_index`'s result atomically (create-dirs on demand).
+/// Appends job `job_index`'s result atomically (create-dirs on demand),
+/// persisting the result's per-run metrics (process-cumulative names
+/// filtered out) so a replayed fold reproduces the metrics registry too.
 /// Best-effort: a failed append costs re-simulation on resume, nothing
 /// else. Honors the test-only FaultPlan kCorruptJournalEntry action by
 /// flipping a payload byte of the just-written entry in place.

@@ -7,6 +7,7 @@
 
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
+#include "util/liveness.hpp"
 
 namespace wlan::sim {
 
@@ -129,6 +130,7 @@ std::uint64_t Simulator::run_until(Time limit) {
     invoke(fired);
     ++ran;
     ++events_executed_;
+    if (events_executed_ % util::kLivenessStride == 0) util::progress_tick();
     if (watchdog_armed_) check_watchdog();
   }
   if (!stop_requested_ && now_ < limit) now_ = limit;
@@ -144,6 +146,7 @@ std::uint64_t Simulator::run_all() {
     invoke(fired);
     ++ran;
     ++events_executed_;
+    if (events_executed_ % util::kLivenessStride == 0) util::progress_tick();
     if (watchdog_armed_) check_watchdog();
   }
   return ran;

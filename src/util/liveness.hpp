@@ -1,0 +1,41 @@
+// Process-wide liveness tick: a relaxed atomic the simulator's dispatch
+// loops bump every few thousand events, read by the shard heartbeat
+// (src/exp/shard.hpp) to distinguish "slow but alive" from "hung".
+//
+// The in-process watchdog (sim::Simulator::set_watchdog) only fires
+// between events, so a callback that never returns — or a job that never
+// dispatches an event at all — is invisible to it. The tick gives an
+// external supervisor something that freezes exactly when the process
+// stops making forward progress: a long legitimate run keeps ticking, a
+// hard hang does not, and the supervisor's stale-heartbeat SIGKILL can
+// tell them apart.
+//
+// One relaxed fetch_add per kLivenessStride events; no feedback into the
+// simulation, so results are byte-identical whether anything reads it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace wlan::util {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_progress_ticks{0};
+}  // namespace detail
+
+/// Dispatch loops call this every kLivenessStride events; the job guard
+/// also ticks once per completed attempt so zero-event runs still count.
+inline void progress_tick() noexcept {
+  detail::g_progress_ticks.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Monotone per-process tick count; frozen exactly while no simulator in
+/// this process is dispatching events.
+inline std::uint64_t progress_ticks() noexcept {
+  return detail::g_progress_ticks.load(std::memory_order_relaxed);
+}
+
+/// Stride matching the watchdog's wall-clock check cadence.
+inline constexpr std::uint64_t kLivenessStride = 4096;
+
+}  // namespace wlan::util
